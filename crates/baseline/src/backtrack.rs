@@ -1,0 +1,323 @@
+//! A plain backtracking PEG recognizer — no memoization at all.
+//!
+//! This is the "before" of packrat parsing: the same recursive-descent
+//! strategy, but every ordered-choice retry re-parses from scratch. On
+//! well-behaved grammars it is merely slower; on backtracking-heavy
+//! grammars it is exponential ([`modpeg_workload::pathological_input`]'s
+//! pairing demonstrates the blowup in experiment E5).
+//!
+//! It is deliberately a *recognizer* (no tree construction), which flatters
+//! it in throughput comparisons — a conservative choice for the paper's
+//! claims, noted in `EXPERIMENTS.md`.
+
+use modpeg_core::{Expr, Grammar, ProdId};
+use modpeg_runtime::{Input, ScopedState};
+
+/// A recognizer that tries alternatives by brute backtracking.
+///
+/// # Examples
+///
+/// ```
+/// use modpeg_baseline::BacktrackParser;
+///
+/// let set = modpeg_syntax::parse_module_set([
+///     "module m; public P = \"a\"+ !. ;",
+/// ])?;
+/// let grammar = set.elaborate("m", None)?;
+/// let parser = BacktrackParser::new(&grammar);
+/// assert!(parser.recognize("aaa").is_ok());
+/// assert!(parser.recognize("aab").is_err());
+/// # Ok::<(), modpeg_core::Diagnostics>(())
+/// ```
+#[derive(Debug)]
+pub struct BacktrackParser<'g> {
+    grammar: &'g Grammar,
+}
+
+struct Run<'g, 'i> {
+    grammar: &'g Grammar,
+    input: Input<'i>,
+    state: ScopedState,
+    farthest: u32,
+    /// Expression evaluations — the work counter the experiments report.
+    steps: u64,
+}
+
+impl<'g> BacktrackParser<'g> {
+    /// Wraps an elaborated grammar.
+    pub fn new(grammar: &'g Grammar) -> Self {
+        BacktrackParser { grammar }
+    }
+
+    /// Recognizes `input` (full consumption required).
+    ///
+    /// # Errors
+    ///
+    /// Returns the farthest failure offset on rejection.
+    pub fn recognize(&self, input: &str) -> Result<(), u32> {
+        self.recognize_counting(input).0
+    }
+
+    /// Like [`recognize`], also returning the number of expression
+    /// evaluations performed (the backtracking work) — on success *and*
+    /// on failure, since the exponential blowup shows up on rejections.
+    ///
+    /// [`recognize`]: BacktrackParser::recognize
+    pub fn recognize_counting(&self, input: &str) -> (Result<(), u32>, u64) {
+        let mut run = Run {
+            grammar: self.grammar,
+            input: Input::new(input),
+            state: ScopedState::new(),
+            farthest: 0,
+            steps: 0,
+        };
+        let outcome = match run.eval_prod(self.grammar.root(), 0) {
+            Some(end) if end == run.input.len() => Ok(()),
+            Some(end) => Err(run.farthest.max(end)),
+            None => Err(run.farthest),
+        };
+        (outcome, run.steps)
+    }
+}
+
+impl<'g, 'i> Run<'g, 'i> {
+    fn fail(&mut self, pos: u32) -> Option<u32> {
+        if pos > self.farthest {
+            self.farthest = pos;
+        }
+        None
+    }
+
+    fn eval_prod(&mut self, id: ProdId, pos: u32) -> Option<u32> {
+        let prod = self.grammar.production(id);
+        match &prod.lr {
+            Some(lr) => {
+                // Fold-style left recursion (the only strategy that makes
+                // sense without a memo table).
+                let mut end = lr.bases.iter().find_map(|alt| {
+                    let mark = self.state.mark();
+                    match self.eval(&alt.expr, pos) {
+                        Some(e) => Some(e),
+                        None => {
+                            self.state.rollback(mark);
+                            None
+                        }
+                    }
+                })?;
+                'grow: loop {
+                    for tail in &lr.tails {
+                        let mark = self.state.mark();
+                        match self.eval(&tail.expr, end) {
+                            Some(e) => {
+                                end = e;
+                                continue 'grow;
+                            }
+                            None => self.state.rollback(mark),
+                        }
+                    }
+                    return Some(end);
+                }
+            }
+            None => {
+                for alt in &prod.alts {
+                    let mark = self.state.mark();
+                    match self.eval(&alt.expr, pos) {
+                        Some(e) => return Some(e),
+                        None => self.state.rollback(mark),
+                    }
+                }
+                self.fail(pos)
+            }
+        }
+    }
+
+    fn eval(&mut self, expr: &Expr<ProdId>, pos: u32) -> Option<u32> {
+        self.steps += 1;
+        match expr {
+            Expr::Empty => Some(pos),
+            Expr::Any => match self.input.char_at(pos) {
+                Some((_, len)) => Some(pos + len),
+                None => self.fail(pos),
+            },
+            Expr::Literal(s) => {
+                if self.input.starts_with(pos, s) {
+                    Some(pos + s.len() as u32)
+                } else {
+                    self.fail(pos)
+                }
+            }
+            Expr::Class(c) => match self.input.char_at(pos) {
+                Some((ch, len)) if c.matches(ch) => Some(pos + len),
+                _ => self.fail(pos),
+            },
+            Expr::Ref(id) => self.eval_prod(*id, pos),
+            Expr::Seq(xs) => {
+                let mut p = pos;
+                for x in xs {
+                    p = self.eval(x, p)?;
+                }
+                Some(p)
+            }
+            Expr::Choice(xs) => {
+                for x in xs {
+                    let mark = self.state.mark();
+                    match self.eval(x, pos) {
+                        Some(e) => return Some(e),
+                        None => self.state.rollback(mark),
+                    }
+                }
+                None
+            }
+            Expr::Opt(e) => {
+                let mark = self.state.mark();
+                match self.eval(e, pos) {
+                    Some(p) => Some(p),
+                    None => {
+                        self.state.rollback(mark);
+                        Some(pos)
+                    }
+                }
+            }
+            Expr::Star(e) => {
+                let mut p = pos;
+                loop {
+                    let mark = self.state.mark();
+                    match self.eval(e, p) {
+                        Some(np) if np > p => p = np,
+                        _ => {
+                            self.state.rollback(mark);
+                            return Some(p);
+                        }
+                    }
+                }
+            }
+            Expr::Plus(e) => {
+                let mut p = self.eval(e, pos)?;
+                loop {
+                    let mark = self.state.mark();
+                    match self.eval(e, p) {
+                        Some(np) if np > p => p = np,
+                        _ => {
+                            self.state.rollback(mark);
+                            return Some(p);
+                        }
+                    }
+                }
+            }
+            Expr::And(e) => {
+                let mark = self.state.mark();
+                let r = self.eval(e, pos);
+                self.state.rollback(mark);
+                r.map(|_| pos)
+            }
+            Expr::Not(e) => {
+                let mark = self.state.mark();
+                let r = self.eval(e, pos);
+                self.state.rollback(mark);
+                match r {
+                    Some(_) => None,
+                    None => Some(pos),
+                }
+            }
+            Expr::Capture(e) | Expr::Void(e) => self.eval(e, pos),
+            Expr::StateDefine(e) => {
+                let end = self.eval(e, pos)?;
+                let name = self.input.slice(modpeg_runtime::Span::new(pos, end));
+                let name = name.trim_end().to_owned();
+                self.state.define(&name);
+                Some(end)
+            }
+            Expr::StateIsDef(e) => {
+                let end = self.eval(e, pos)?;
+                let name = self.input.slice(modpeg_runtime::Span::new(pos, end));
+                if self.state.is_defined(name.trim_end()) {
+                    Some(end)
+                } else {
+                    self.fail(pos)
+                }
+            }
+            Expr::StateIsNotDef(e) => {
+                let end = self.eval(e, pos)?;
+                let name = self.input.slice(modpeg_runtime::Span::new(pos, end));
+                if self.state.is_defined(name.trim_end()) {
+                    self.fail(pos)
+                } else {
+                    Some(end)
+                }
+            }
+            Expr::StateScope(e) => {
+                let mark = self.state.mark();
+                self.state.push_scope();
+                match self.eval(e, pos) {
+                    Some(end) => {
+                        self.state.pop_scope();
+                        Some(end)
+                    }
+                    None => {
+                        self.state.rollback(mark);
+                        None
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grammar(src: &str, root: &str) -> Grammar {
+        modpeg_syntax::parse_module_set([src])
+            .unwrap()
+            .elaborate(root, None)
+            .unwrap()
+    }
+
+    #[test]
+    fn recognizes_and_rejects() {
+        let g = grammar("module m; public P = (\"ab\" / \"a\")+ !. ;", "m");
+        let p = BacktrackParser::new(&g);
+        assert!(p.recognize("abab").is_ok());
+        assert!(p.recognize("aab").is_ok());
+        assert!(p.recognize("abc").is_err());
+        assert_eq!(p.recognize("abc").unwrap_err(), 2);
+    }
+
+    #[test]
+    fn left_recursion_folds() {
+        let g = grammar(
+            "module m; public E = <Add> E \"+\" N / N ; String N = $[0-9]+ ;",
+            "m",
+        );
+        let p = BacktrackParser::new(&g);
+        assert!(p.recognize("1+2+3").is_ok());
+        assert!(p.recognize("1+").is_err());
+    }
+
+    #[test]
+    fn exponential_work_on_pathological_grammar() {
+        let g = grammar(modpeg_workload::PATHOLOGICAL_GRAMMAR, "pathological");
+        let p = BacktrackParser::new(&g);
+        // Even-length inputs are rejected; work roughly doubles per char.
+        let (r10, w10) = p.recognize_counting(&"a".repeat(10));
+        let (r16, w16) = p.recognize_counting(&"a".repeat(16));
+        assert!(r10.is_err() && r16.is_err());
+        assert!(w16 > w10 * 8, "w10={w10}, w16={w16}");
+    }
+
+    #[test]
+    fn state_is_rolled_back_on_backtrack() {
+        let g = grammar(
+            "module m;\n\
+             public P = Def \"!\" / Use ;\n\
+             void Def = %define($[a-z]+) ;\n\
+             String Use = %isdef($[a-z]+) ;",
+            "m",
+        );
+        let p = BacktrackParser::new(&g);
+        // `abc` tries Def (defines abc) then `!` fails, backtracks
+        // (undefines), then Use requires abc defined — overall reject.
+        assert!(p.recognize("abc").is_err());
+    }
+}

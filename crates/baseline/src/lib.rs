@@ -1,0 +1,19 @@
+//! # modpeg-baseline
+//!
+//! Comparator parsers for the evaluation, bracketing the design space the
+//! paper's comparison table covers:
+//!
+//! * [`BacktrackParser`] — a PEG recognizer with **no memoization**: the
+//!   naïve strategy packrat parsing fixes (exponential on pathological
+//!   grammars);
+//! * [`handwritten::parse_java`] — a conventional, hand-written two-phase
+//!   parser (lexer + deterministic recursive descent) for the same Java
+//!   subset, standing in for the paper's JavaCC/ANTLR comparators
+//!   (documented substitution in `DESIGN.md`).
+
+#![warn(missing_docs)]
+
+mod backtrack;
+pub mod handwritten;
+
+pub use backtrack::BacktrackParser;

@@ -1,0 +1,37 @@
+//! Criterion benchmarks for the *generator* itself: module parsing,
+//! elaboration, optimization/compilation, and Rust-code emission for the
+//! Java-subset grammar — the toolchain-latency numbers a Rats! user
+//! experiences at build time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use modpeg_interp::{CompiledGrammar, OptConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let src = modpeg_grammars::sources::JAVA;
+    let mut group = c.benchmark_group("generation/java");
+    group.bench_function("parse_modules", |b| {
+        b.iter(|| modpeg_syntax::parse_modules(src).expect("parses"))
+    });
+    group.bench_function("elaborate", |b| {
+        let set = modpeg_syntax::parse_module_set([src]).unwrap();
+        b.iter(|| set.elaborate("java.Program", Some("Program")).expect("elaborates"))
+    });
+    let grammar = modpeg_grammars::java_grammar().unwrap();
+    group.bench_function("compile_all_opts", |b| {
+        b.iter(|| CompiledGrammar::compile(&grammar, OptConfig::all()).expect("compiles"))
+    });
+    group.bench_function("codegen_emit", |b| {
+        b.iter(|| modpeg_codegen::generate(&grammar, "bench").expect("emits"))
+    });
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group!(name = benches; config = configured(); targets = bench_generation);
+criterion_main!(benches);

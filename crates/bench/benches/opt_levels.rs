@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks backing E2: parse latency at selected
+//! cumulative optimization levels (0 = naive packrat, 8, 12, 16 = full)
+//! on small fixed Java and C inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modpeg_interp::{CompiledGrammar, OptConfig};
+
+fn bench_levels(c: &mut Criterion) {
+    let java = modpeg_grammars::java_grammar().expect("elaborates");
+    let input = modpeg_workload::java_program(1, 4_000);
+    let mut group = c.benchmark_group("opt_levels/java");
+    for level in [0usize, 6, 10, 13, 16] {
+        let compiled = CompiledGrammar::compile(&java, OptConfig::cumulative(level)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(level), &compiled, |b, p| {
+            b.iter(|| p.parse(&input).expect("parses"))
+        });
+    }
+    group.finish();
+
+    let cg = modpeg_grammars::c_grammar().expect("elaborates");
+    let cinput = modpeg_workload::c_program(1, 4_000);
+    let mut group = c.benchmark_group("opt_levels/c");
+    for level in [0usize, 10, 16] {
+        let compiled = CompiledGrammar::compile(&cg, OptConfig::cumulative(level)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(level), &compiled, |b, p| {
+            b.iter(|| p.parse(&cinput).expect("parses"))
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group!(name = benches; config = configured(); targets = bench_levels);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! E2 — parse time versus cumulative optimizations.
+//!
+//! Reconstructs the paper's headline figure: starting from the naïve
+//! packrat parser (no optimizations), enable the 16 optimizations one at a
+//! time in the canonical order and measure parse latency on synthetic Java
+//! and C workloads. The output is one row per optimization level with the
+//! median latency and its value normalized to the fully optimized parser
+//! (level 16 = 1.0).
+//!
+//! Knobs: `MODPEG_BENCH_BYTES` (default 24000), `MODPEG_BENCH_SEEDS` (3),
+//! `MODPEG_BENCH_RUNS` (3).
+
+use modpeg_bench::{ms, Knobs};
+use modpeg_interp::{CompiledGrammar, OptConfig, OPT_COUNT, OPT_NAMES};
+
+fn sweep(label: &str, grammar: &modpeg_core::Grammar, inputs: &[String], knobs: Knobs) {
+    println!("\n[{label}] {} inputs x {} bytes, median of {} runs", inputs.len(), knobs.bytes, knobs.runs);
+    let mut times = Vec::with_capacity(OPT_COUNT + 1);
+    for level in 0..=OPT_COUNT {
+        let cfg = OptConfig::cumulative(level);
+        let compiled = CompiledGrammar::compile(grammar, cfg).expect("compiles");
+        let t = modpeg_bench::median_time(knobs.runs, || {
+            for input in inputs {
+                let tree = compiled.parse(input).expect("workload parses");
+                std::hint::black_box(tree);
+            }
+        });
+        times.push(t);
+    }
+    let full = times[OPT_COUNT].as_secs_f64();
+    let rows: Vec<Vec<String>> = times
+        .iter()
+        .enumerate()
+        .map(|(level, t)| {
+            vec![
+                level.to_string(),
+                if level == 0 {
+                    "(none)".to_owned()
+                } else {
+                    format!("+{}", OPT_NAMES[level - 1])
+                },
+                ms(*t),
+                format!("{:.2}x", t.as_secs_f64() / full),
+            ]
+        })
+        .collect();
+    modpeg_bench::print_table(&["level", "optimization", "ms", "vs full"], &rows);
+}
+
+/// Leave-one-out ablation: all optimizations minus one, per optimization.
+/// Shows which optimizations still carry weight once the others are on.
+fn ablation(label: &str, grammar: &modpeg_core::Grammar, inputs: &[String], knobs: Knobs) {
+    println!("\n[{label}] leave-one-out ablation");
+    let full = CompiledGrammar::compile(grammar, OptConfig::all()).expect("compiles");
+    let t_full = modpeg_bench::median_time(knobs.runs, || {
+        for input in inputs {
+            std::hint::black_box(full.parse(input).expect("workload parses"));
+        }
+    });
+    let mut rows = vec![vec![
+        "(all)".to_owned(),
+        ms(t_full),
+        "1.00x".to_owned(),
+    ]];
+    for name in OPT_NAMES {
+        let cfg = OptConfig::all_except(name).expect("known name");
+        let compiled = CompiledGrammar::compile(grammar, cfg).expect("compiles");
+        let t = modpeg_bench::median_time(knobs.runs, || {
+            for input in inputs {
+                std::hint::black_box(compiled.parse(input).expect("workload parses"));
+            }
+        });
+        rows.push(vec![
+            format!("-{name}"),
+            ms(t),
+            format!("{:.2}x", t.as_secs_f64() / t_full.as_secs_f64()),
+        ]);
+    }
+    modpeg_bench::print_table(&["configuration", "ms", "vs all"], &rows);
+}
+
+fn main() {
+    let knobs = Knobs::from_env(24_000, 3, 3);
+    let loo = std::env::var("MODPEG_BENCH_MODE").is_ok_and(|m| m == "loo");
+    println!(
+        "E2 — parse time vs optimizations ({})",
+        if loo { "leave-one-out ablation" } else { "cumulative" }
+    );
+
+    let java = modpeg_grammars::java_grammar().expect("java elaborates");
+    let java_inputs: Vec<String> = (0..knobs.seeds)
+        .map(|s| modpeg_workload::java_program(s, knobs.bytes))
+        .collect();
+    let c = modpeg_grammars::c_grammar().expect("c elaborates");
+    let c_inputs: Vec<String> = (0..knobs.seeds)
+        .map(|s| modpeg_workload::c_program(s, knobs.bytes))
+        .collect();
+
+    if loo {
+        ablation("java", &java, &java_inputs, knobs);
+        ablation("c", &c, &c_inputs, knobs);
+    } else {
+        sweep("java", &java, &java_inputs, knobs);
+        sweep("c", &c, &c_inputs, knobs);
+    }
+}

@@ -1,0 +1,95 @@
+//! E4 — parser throughput comparison (the paper's Rats!-vs-ANTLR/JavaCC
+//! table, with documented stand-ins).
+//!
+//! Comparators on the same Java-subset inputs:
+//!
+//! * `generated` — the parser emitted by `modpeg-codegen` (≈ Rats! output),
+//! * `interp-full` — the interpreter with all optimizations,
+//! * `interp-naive` — the interpreter with none (naïve packrat),
+//! * `backtrack` — the memoization-free PEG recognizer,
+//! * `handwritten` — the hand-coded lexer + recursive-descent parser
+//!   (stand-in for the conventional generated parsers).
+//!
+//! Knobs: `MODPEG_BENCH_BYTES` (default 32000), `MODPEG_BENCH_SEEDS` (4),
+//! `MODPEG_BENCH_RUNS` (5).
+
+use modpeg_baseline::BacktrackParser;
+use modpeg_bench::{kib_per_s, ms, Knobs};
+use modpeg_interp::{CompiledGrammar, OptConfig};
+
+fn main() {
+    let knobs = Knobs::from_env(32_000, 4, 5);
+    println!(
+        "E4 — Java-subset parser comparison ({} inputs x {} bytes, median of {} runs)\n",
+        knobs.seeds, knobs.bytes, knobs.runs
+    );
+    let inputs: Vec<String> = (0..knobs.seeds)
+        .map(|s| modpeg_workload::java_program(s, knobs.bytes))
+        .collect();
+    let total_bytes: usize = inputs.iter().map(String::len).sum();
+
+    let grammar = modpeg_grammars::java_grammar().expect("java elaborates");
+    let full = CompiledGrammar::compile(&grammar, OptConfig::all()).expect("compiles");
+    let naive = CompiledGrammar::compile(&grammar, OptConfig::none()).expect("compiles");
+    let backtrack = BacktrackParser::new(&grammar);
+
+    let mut rows = Vec::new();
+    let mut add = |name: &str, t: std::time::Duration| {
+        rows.push(vec![
+            name.to_owned(),
+            ms(t),
+            kib_per_s(total_bytes, t),
+        ]);
+    };
+
+    add(
+        "handwritten (lexer+RD)",
+        modpeg_bench::median_time(knobs.runs, || {
+            for i in &inputs {
+                std::hint::black_box(
+                    modpeg_baseline::handwritten::parse_java(i).expect("parses"),
+                );
+            }
+        }),
+    );
+    add(
+        "generated (modpeg-codegen)",
+        modpeg_bench::median_time(knobs.runs, || {
+            for i in &inputs {
+                std::hint::black_box(
+                    modpeg_grammars::generated::java::parse(i).expect("parses"),
+                );
+            }
+        }),
+    );
+    add(
+        "interp, all optimizations",
+        modpeg_bench::median_time(knobs.runs, || {
+            for i in &inputs {
+                std::hint::black_box(full.parse(i).expect("parses"));
+            }
+        }),
+    );
+    add(
+        "interp, no optimizations",
+        modpeg_bench::median_time(knobs.runs.min(2), || {
+            for i in &inputs {
+                std::hint::black_box(naive.parse(i).expect("parses"));
+            }
+        }),
+    );
+    add(
+        "backtrack recognizer (no memo)",
+        modpeg_bench::median_time(knobs.runs.min(2), || {
+            for i in &inputs {
+                backtrack.recognize(i).expect("parses");
+            }
+        }),
+    );
+
+    modpeg_bench::print_table(&["parser", "ms", "KiB/s"], &rows);
+    println!(
+        "\nNote: `backtrack` builds no trees (flattering it); `handwritten`\n\
+         builds a typed AST; packrat parsers build generic syntax trees."
+    );
+}

@@ -1,0 +1,148 @@
+//! # modpeg-bench
+//!
+//! The experiment harness: every table and figure of the paper's
+//! evaluation has a binary here that regenerates it (see `EXPERIMENTS.md`
+//! at the workspace root for the index and recorded results):
+//!
+//! | binary | experiment |
+//! |--------|-----------|
+//! | `table1` | E1 — grammar-modularity statistics |
+//! | `fig_opts` | E2 — parse time vs cumulative optimizations |
+//! | `fig_heap` | E3 — heap utilization vs cumulative optimizations |
+//! | `table_compare` | E4 — parser throughput comparison |
+//! | `fig_scaling` | E5 — linear-time scaling & backtracking blowup |
+//! | `table_extend` | E6 — extensibility case study |
+//!
+//! This library crate holds the shared measurement utilities.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Times one execution of `f`.
+pub fn time_once<R>(mut f: impl FnMut() -> R) -> (Duration, R) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed(), r)
+}
+
+/// Runs `f` `n` times (plus one warmup) and returns the median duration.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn median_time<R>(n: usize, mut f: impl FnMut() -> R) -> Duration {
+    assert!(n > 0, "need at least one run");
+    let _ = f(); // warmup
+    let mut times: Vec<Duration> = (0..n).map(|_| time_once(&mut f).0).collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Formats a duration as milliseconds with two decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a throughput in KiB/s given bytes and a duration.
+pub fn kib_per_s(bytes: usize, d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs == 0.0 {
+        return "inf".to_owned();
+    }
+    format!("{:.0}", bytes as f64 / 1024.0 / secs)
+}
+
+/// Prints an aligned text table: a header row then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            if i == 0 {
+                out.push_str(&format!("{:<w$}", cell, w = widths[i]));
+            } else {
+                out.push_str(&format!("{:>w$}", cell, w = widths[i]));
+            }
+        }
+        out
+    };
+    println!("{}", line(headers.iter().map(|s| s.to_string()).collect()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+}
+
+/// Repeat-count and input-size knobs shared by the experiment binaries,
+/// overridable via environment variables so quick runs and full runs use
+/// the same code. `MODPEG_BENCH_BYTES`, `MODPEG_BENCH_SEEDS`,
+/// `MODPEG_BENCH_RUNS`.
+#[derive(Debug, Clone, Copy)]
+pub struct Knobs {
+    /// Workload size per seed, in bytes.
+    pub bytes: usize,
+    /// Number of workload seeds.
+    pub seeds: u64,
+    /// Timed runs per measurement (median taken).
+    pub runs: usize,
+}
+
+impl Knobs {
+    /// Reads knobs from the environment with the given defaults.
+    pub fn from_env(bytes: usize, seeds: u64, runs: usize) -> Knobs {
+        let get = |name: &str, dflt: usize| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(dflt)
+        };
+        Knobs {
+            bytes: get("MODPEG_BENCH_BYTES", bytes),
+            seeds: get("MODPEG_BENCH_SEEDS", seeds as usize) as u64,
+            runs: get("MODPEG_BENCH_RUNS", runs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_time_is_positive() {
+        let d = median_time(3, || std::hint::black_box((0..1000).sum::<u64>()));
+        assert!(d.as_nanos() > 0 || d.as_nanos() == 0); // smoke: no panic
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ms(Duration::from_millis(1)), "1.00");
+        assert_eq!(kib_per_s(1024, Duration::from_secs(1)), "1");
+    }
+
+    #[test]
+    fn knobs_defaults() {
+        let k = Knobs::from_env(1000, 3, 5);
+        assert!(k.bytes >= 1);
+        assert!(k.runs >= 1);
+    }
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_table(
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["bb".into(), "22".into()]],
+        );
+    }
+}

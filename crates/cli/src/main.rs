@@ -1,0 +1,269 @@
+//! `modpeg` — the command-line driver (the `rats` tool of this toolkit).
+//!
+//! ```text
+//! modpeg check  <grammar.mpeg>... --root <module> [--start <prod>] [--dump]
+//! modpeg stats  <grammar.mpeg>...
+//! modpeg parse  <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--stats]
+//! modpeg gen    <grammar.mpeg>... --root <module> [--start <prod>] [--out <file.rs>]
+//! ```
+
+use std::process::ExitCode;
+
+use modpeg_core::Grammar;
+use modpeg_interp::{CompiledGrammar, OptConfig};
+
+struct Args {
+    command: String,
+    files: Vec<String>,
+    root: Option<String>,
+    start: Option<String>,
+    input: Option<String>,
+    out: Option<String>,
+    dump: bool,
+    stats: bool,
+    trace: bool,
+}
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     modpeg check <grammar.mpeg>... --root <module> [--start <prod>] [--dump]\n  \
+     modpeg lint  <grammar.mpeg>... --root <module> [--start <prod>]\n  \
+     modpeg fmt   <grammar.mpeg>...\n  \
+     modpeg stats <grammar.mpeg>...\n  \
+     modpeg parse <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--stats] [--trace]\n  \
+     modpeg coverage <grammar.mpeg>... --root <module> [--start <prod>] --input <file>\n  \
+     modpeg gen   <grammar.mpeg>... --root <module> [--start <prod>] [--out <file.rs>]"
+}
+
+fn parse_args(argv: Vec<String>) -> Result<Args, String> {
+    let mut it = argv.into_iter();
+    let command = it.next().ok_or_else(|| usage().to_owned())?;
+    let mut args = Args {
+        command,
+        files: Vec::new(),
+        root: None,
+        start: None,
+        input: None,
+        out: None,
+        dump: false,
+        stats: false,
+        trace: false,
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = Some(it.next().ok_or("--root needs a value")?),
+            "--start" => args.start = Some(it.next().ok_or("--start needs a value")?),
+            "--input" => args.input = Some(it.next().ok_or("--input needs a value")?),
+            "--out" => args.out = Some(it.next().ok_or("--out needs a value")?),
+            "--dump" => args.dump = true,
+            "--stats" => args.stats = true,
+            "--trace" => args.trace = true,
+            f if !f.starts_with('-') => args.files.push(f.to_owned()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if args.files.is_empty() {
+        return Err(format!("no grammar files given\n{}", usage()));
+    }
+    Ok(args)
+}
+
+fn load_grammar(args: &Args) -> Result<Grammar, String> {
+    let mut texts = Vec::new();
+    for f in &args.files {
+        texts.push(std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?);
+    }
+    let set = modpeg_syntax::parse_module_set(texts.iter().map(String::as_str))
+        .map_err(|e| e.to_string())?;
+    let root = args
+        .root
+        .clone()
+        .or_else(|| {
+            // Single-module input: that module is the root.
+            let modules: Vec<_> = set.iter().collect();
+            (modules.len() == 1).then(|| modules[0].name.clone())
+        })
+        .ok_or("--root <module> is required with multiple modules")?;
+    set.elaborate(&root, args.start.as_deref())
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_check(args: &Args) -> Result<(), String> {
+    let grammar = load_grammar(args)?;
+    let reach = modpeg_core::analysis::reachable(&grammar);
+    let live = reach.iter().filter(|r| **r).count();
+    println!(
+        "ok: {} productions ({} reachable), root `{}`",
+        grammar.len(),
+        live,
+        grammar.production(grammar.root()).name
+    );
+    let compiled = CompiledGrammar::compile(&grammar, OptConfig::all()).map_err(|e| e.to_string())?;
+    println!(
+        "optimized: {} productions, {} memoized, {} memo slots",
+        compiled.production_count(),
+        compiled.memoized_production_count(),
+        compiled.memo_slot_count()
+    );
+    if args.dump {
+        println!("\n{}", modpeg_core::grammar_to_string(&grammar));
+    }
+    Ok(())
+}
+
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    let grammar = load_grammar(args)?;
+    let warnings = modpeg_core::analysis::lint(&grammar);
+    if warnings.is_empty() {
+        println!("no composition warnings");
+        return Ok(());
+    }
+    for w in &warnings {
+        println!("{w}");
+    }
+    println!("{} warning(s)", warnings.len());
+    Ok(())
+}
+
+fn cmd_fmt(args: &Args) -> Result<(), String> {
+    for f in &args.files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+        let modules = modpeg_syntax::parse_modules(&text).map_err(|e| e.to_string())?;
+        print!("{}", modpeg_syntax::format_modules(&modules));
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    println!("{:<28} {:>6} {:>6} {:>6}  kind", "module", "prods", "decls", "lines");
+    for f in &args.files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+        for m in modpeg_grammars::module_stats(&text).map_err(|e| e.to_string())? {
+            println!(
+                "{:<28} {:>6} {:>6} {:>6}  {}",
+                m.name,
+                m.productions,
+                m.declarations,
+                m.lines,
+                if m.is_modification {
+                    "modification"
+                } else {
+                    "definition"
+                }
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_parse(args: &Args) -> Result<(), String> {
+    let grammar = load_grammar(args)?;
+    let input_path = args.input.as_ref().ok_or("--input <file> is required")?;
+    let input = std::fs::read_to_string(input_path).map_err(|e| format!("{input_path}: {e}"))?;
+    let compiled = CompiledGrammar::compile(&grammar, OptConfig::all()).map_err(|e| e.to_string())?;
+    if args.trace {
+        let (result, trace) = compiled.parse_with_trace(&input, 2_000);
+        eprint!("{trace}");
+        return match result {
+            Ok(tree) => {
+                println!("{}", tree.to_sexpr());
+                Ok(())
+            }
+            Err(e) => Err(e.to_string()),
+        };
+    }
+    let (result, stats) = compiled.parse_with_stats(&input);
+    match result {
+        Ok(tree) => {
+            println!("{}", tree.to_sexpr());
+            if args.stats {
+                eprintln!("{stats}");
+            }
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn cmd_coverage(args: &Args) -> Result<(), String> {
+    let grammar = load_grammar(args)?;
+    let input_path = args.input.as_ref().ok_or("--input <file> is required")?;
+    let input = std::fs::read_to_string(input_path).map_err(|e| format!("{input_path}: {e}"))?;
+    let compiled =
+        CompiledGrammar::compile(&grammar, OptConfig::all()).map_err(|e| e.to_string())?;
+    let (result, coverage) = compiled.parse_with_coverage(&input);
+    if let Err(e) = result {
+        eprintln!("note: input did not fully parse: {e}");
+    }
+    print!("{coverage}");
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let grammar = load_grammar(args)?;
+    let doc = format!("Generated from {}", args.files.join(", "));
+    let source = modpeg_codegen::generate(&grammar, &doc).map_err(|e| e.to_string())?;
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, source).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => print!("{source}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "check" => cmd_check(&args),
+        "lint" => cmd_lint(&args),
+        "fmt" => cmd_fmt(&args),
+        "stats" => cmd_stats(&args),
+        "parse" => cmd_parse(&args),
+        "coverage" => cmd_coverage(&args),
+        "gen" => cmd_gen(&args),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_files() {
+        let a = parse_args(argv("parse g1.mpeg g2.mpeg --root java.Program --input x.java --stats"))
+            .unwrap();
+        assert_eq!(a.command, "parse");
+        assert_eq!(a.files, vec!["g1.mpeg", "g2.mpeg"]);
+        assert_eq!(a.root.as_deref(), Some("java.Program"));
+        assert_eq!(a.input.as_deref(), Some("x.java"));
+        assert!(a.stats && !a.dump && !a.trace);
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_empty() {
+        assert!(parse_args(argv("check g.mpeg --bogus")).is_err());
+        assert!(parse_args(argv("check")).is_err());
+        assert!(parse_args(vec![]).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! Diagnostics for grammar elaboration and analysis.
+
+use std::fmt;
+
+/// A half-open byte range into a grammar-module source file.
+///
+/// Distinct from the runtime's input span type on purpose: this one points
+/// into `.mpeg` grammar text, that one into parsed program text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SrcSpan {
+    /// Start byte offset.
+    pub lo: u32,
+    /// End byte offset (exclusive).
+    pub hi: u32,
+}
+
+impl SrcSpan {
+    /// Creates a span covering `lo..hi`.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        SrcSpan { lo, hi }
+    }
+
+    /// An unknown/synthetic location.
+    pub fn none() -> Self {
+        SrcSpan { lo: 0, hi: 0 }
+    }
+
+    /// The smallest span covering both.
+    pub fn merge(self, other: SrcSpan) -> SrcSpan {
+        if self == SrcSpan::none() {
+            return other;
+        }
+        if other == SrcSpan::none() {
+            return self;
+        }
+        SrcSpan::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+}
+
+/// Severity of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A problem that prevents elaboration from producing a grammar.
+    Error,
+    /// A suspicious construct that does not stop elaboration.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        })
+    }
+}
+
+/// A located message produced while parsing, elaborating, or analyzing a
+/// grammar.
+///
+/// # Examples
+///
+/// ```
+/// use modpeg_core::{Diagnostic, SrcSpan};
+///
+/// let d = Diagnostic::error("undefined nonterminal `Expr`")
+///     .with_span(SrcSpan::new(10, 14))
+///     .with_module("java.Statement");
+/// assert!(d.to_string().contains("undefined nonterminal"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    severity: Severity,
+    message: String,
+    module: Option<String>,
+    span: SrcSpan,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            module: None,
+            span: SrcSpan::none(),
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            module: None,
+            span: SrcSpan::none(),
+        }
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, span: SrcSpan) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Attaches the module name the diagnostic refers to.
+    pub fn with_module(mut self, module: impl Into<String>) -> Self {
+        self.module = Some(module.into());
+        self
+    }
+
+    /// The severity.
+    pub fn severity(&self) -> Severity {
+        self.severity
+    }
+
+    /// The message text.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The module name, if attached.
+    pub fn module(&self) -> Option<&str> {
+        self.module.as_deref()
+    }
+
+    /// The source span (may be [`SrcSpan::none`]).
+    pub fn span(&self) -> SrcSpan {
+        self.span
+    }
+
+    /// Whether this is an error.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.severity)?;
+        if let Some(m) = &self.module {
+            write!(f, " in module {m}")?;
+        }
+        if self.span != SrcSpan::none() {
+            write!(f, " at {}..{}", self.span.lo, self.span.hi)?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// A collection of diagnostics; the error type of elaboration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Diagnostics::default()
+    }
+
+    /// Adds a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// All diagnostics, in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Whether any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(Diagnostic::is_error)
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Consumes the collection, yielding the diagnostics.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.items
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.items.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostics {}
+
+impl From<Diagnostic> for Diagnostics {
+    fn from(d: Diagnostic) -> Self {
+        Diagnostics { items: vec![d] }
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_spans() {
+        let a = SrcSpan::new(5, 9);
+        let b = SrcSpan::new(2, 6);
+        assert_eq!(a.merge(b), SrcSpan::new(2, 9));
+        assert_eq!(a.merge(SrcSpan::none()), a);
+        assert_eq!(SrcSpan::none().merge(b), b);
+    }
+
+    #[test]
+    fn diagnostic_display() {
+        let d = Diagnostic::error("bad thing")
+            .with_module("m")
+            .with_span(SrcSpan::new(1, 2));
+        assert_eq!(d.to_string(), "error in module m at 1..2: bad thing");
+        let w = Diagnostic::warning("meh");
+        assert_eq!(w.to_string(), "warning: meh");
+        assert!(!w.is_error());
+    }
+
+    #[test]
+    fn diagnostics_error_detection() {
+        let mut ds = Diagnostics::new();
+        assert!(!ds.has_errors());
+        assert!(ds.is_empty());
+        ds.push(Diagnostic::warning("w"));
+        assert!(!ds.has_errors());
+        ds.push(Diagnostic::error("e"));
+        assert!(ds.has_errors());
+        assert_eq!(ds.len(), 2);
+        let text = ds.to_string();
+        assert!(text.contains("w") && text.contains("e"));
+    }
+}

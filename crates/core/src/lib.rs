@@ -1,0 +1,66 @@
+//! # modpeg-core
+//!
+//! Grammar intermediate representation, module system, elaboration, static
+//! analyses, and grammar-level optimizations for the modpeg toolkit — a
+//! Rust reproduction of the *Rats!* parser generator ("Better
+//! Extensibility through Modular Syntax", PLDI 2006).
+//!
+//! The crate's center of gravity is the **module system**: grammars are
+//! written as [`ModuleAst`]s that can be parameterized, instantiated,
+//! imported, and — the paper's signature feature — *modified*. A
+//! modification module reopens another module's productions to add, remove
+//! or replace alternatives, which is how language extensions (a new
+//! statement, a new operator) compose with a base grammar without editing
+//! it. [`ModuleSet::elaborate`] turns a set of modules into one flat,
+//! validated [`Grammar`].
+//!
+//! On top of the flat grammar this crate provides:
+//!
+//! * [`analysis`] — nullability, reachability, statefulness, first sets,
+//!   left-recursion detection;
+//! * [`transform`] — the grammar-level half of the paper's optimization
+//!   battery (folding, dead-code elimination, inlining, prefix factoring,
+//!   terminal class merging).
+//!
+//! ## Example
+//!
+//! ```
+//! use modpeg_core::{Expr, GrammarBuilder, ProdKind};
+//!
+//! let mut builder = GrammarBuilder::new("tiny");
+//! builder.production(
+//!     "Greeting",
+//!     ProdKind::Node,
+//!     vec![(None, Expr::seq(vec![Expr::literal("hello"), Expr::Ref("Name".into())]))],
+//! );
+//! builder.production(
+//!     "Name",
+//!     ProdKind::Text,
+//!     vec![(None, Expr::Capture(Box::new(Expr::Plus(Box::new(Expr::Class(
+//!         modpeg_core::CharClass::from_ranges(vec![('a', 'z')], false),
+//!     ))))))],
+//! );
+//! let grammar = builder.build("Greeting")?;
+//! assert_eq!(grammar.len(), 2);
+//! # Ok::<(), modpeg_core::Diagnostics>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod ast;
+mod builder;
+mod diag;
+mod elaborate;
+mod expr;
+mod grammar;
+mod pretty;
+pub mod transform;
+
+pub use ast::{AltAst, AnchorPos, ClauseOp, Decl, ModuleAst, ProdClause};
+pub use builder::GrammarBuilder;
+pub use diag::{Diagnostic, Diagnostics, Severity, SrcSpan};
+pub use elaborate::ModuleSet;
+pub use expr::{escape_literal, CharClass, Expr};
+pub use grammar::{Alternative, Attrs, Grammar, LrSplit, ProdId, ProdKind, Production};
+pub use pretty::{grammar_to_string, production_to_string};

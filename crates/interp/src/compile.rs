@@ -1,0 +1,588 @@
+//! Lowering an elaborated [`Grammar`] into the interpreter's compiled form.
+//!
+//! The compiled form is an expression *arena*: every subexpression gets a
+//! dense id, which gives the runtime stable memoization slots for the
+//! unoptimized repetition strategy, per-node first sets for terminal
+//! dispatch, and precomputed failure descriptions — all decided here, once,
+//! instead of on the hot path.
+
+use std::rc::Rc;
+
+use modpeg_core::analysis::{first_sets, nullable, reference_counts, state_access, FirstSet};
+use modpeg_core::{
+    CharClass, Diagnostics, Expr, Grammar, ProdId, ProdKind,
+};
+use modpeg_runtime::NodeKind;
+
+use crate::config::OptConfig;
+
+/// Index into the compiled expression arena.
+pub type EId = u32;
+
+/// A compiled parsing expression.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)]
+pub enum CExpr {
+    Empty,
+    Any,
+    Lit { text: Rc<str>, desc: Rc<str> },
+    Class { class: CharClass, desc: Rc<str> },
+    Ref(ProdId),
+    Seq(Vec<EId>),
+    Choice { arms: Vec<EId>, first: Option<Vec<(FirstSet, Rc<str>)>> },
+    Opt { inner: EId, slot: Option<u32> },
+    Star { inner: EId, slot: Option<u32> },
+    Plus { inner: EId, slot: Option<u32> },
+    And(EId),
+    Not(EId),
+    Capture(EId),
+    Void(EId),
+    SDefine(EId),
+    SIsDef(EId),
+    SIsNotDef(EId),
+    SScope(EId),
+}
+
+/// A compiled top-level alternative.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)]
+pub struct CAlt {
+    pub expr: EId,
+    pub node_kind: NodeKind,
+    /// Unlabeled single-element alternatives pass a lone child value
+    /// through instead of wrapping it in a node.
+    pub passthrough: bool,
+    /// First set for production-level dispatch plus a human-readable
+    /// expected-set description for failures (populated under
+    /// `terminal-dispatch`).
+    pub first: Option<(FirstSet, Rc<str>)>,
+}
+
+/// Renders a first set as an expected-input description for diagnostics.
+pub fn first_set_desc(set: &FirstSet) -> String {
+    let printable: Vec<u8> = (0x20u8..0x7F).filter(|b| set.contains(*b)).collect();
+    if set.matches_empty || printable.len() > 12 || printable.len() as u32 != set.len() {
+        return "input".to_owned();
+    }
+    let mut out = String::from("[");
+    for b in printable {
+        match b {
+            b'\\' => out.push_str("\\\\"),
+            b']' => out.push_str("\\]"),
+            c => out.push(c as char),
+        }
+    }
+    out.push(']');
+    out
+}
+
+/// Computes (reads, writes) state flags for a freshly pushed node, given
+/// the flags of already-pushed children and per-production access.
+fn state_flags(
+    e: &CExpr,
+    reads: &[bool],
+    writes: &[bool],
+    access: &[modpeg_core::analysis::StateAccess],
+) -> (bool, bool) {
+    let of = |i: &EId| (reads[*i as usize], writes[*i as usize]);
+    match e {
+        CExpr::Empty | CExpr::Any | CExpr::Lit { .. } | CExpr::Class { .. } => (false, false),
+        CExpr::Ref(id) => {
+            let a = access[id.index()];
+            (a.reads, a.writes)
+        }
+        CExpr::Seq(xs) | CExpr::Choice { arms: xs, .. } => xs.iter().map(of).fold(
+            (false, false),
+            |(r1, w1), (r2, w2)| (r1 || r2, w1 || w2),
+        ),
+        CExpr::Opt { inner, .. }
+        | CExpr::Star { inner, .. }
+        | CExpr::Plus { inner, .. }
+        | CExpr::And(inner)
+        | CExpr::Not(inner)
+        | CExpr::Capture(inner)
+        | CExpr::Void(inner)
+        | CExpr::SScope(inner) => of(inner),
+        CExpr::SDefine(inner) => (reads[*inner as usize], true),
+        CExpr::SIsDef(inner) | CExpr::SIsNotDef(inner) => (true, writes[*inner as usize]),
+    }
+}
+
+/// The left-recursion split in compiled form.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)]
+pub struct CLr {
+    pub bases: Vec<CAlt>,
+    pub tails: Vec<CAlt>,
+}
+
+/// A compiled production.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)]
+pub struct CProd {
+    pub name: String,
+    pub kind: ProdKind,
+    /// Whether nodes built by this production carry spans.
+    pub with_span: bool,
+    /// Memoization slot; `None` means "never memoize".
+    pub memo_slot: Option<u32>,
+    /// Whether memo entries for this production must be validated against
+    /// the parser-state epoch (the production reads state).
+    pub epoch_check: bool,
+    /// For `String` productions: whether the body can contribute an inner
+    /// textual value (a `$` capture or a value-bearing reference). When
+    /// true the production yields its *first* inner value if textual;
+    /// otherwise it yields the whole matched span.
+    pub text_takes_inner: bool,
+    /// The original alternatives (self-references intact for
+    /// left-recursive productions — used by the seed-growing strategy).
+    pub alts: Vec<CAlt>,
+    pub lr: Option<CLr>,
+}
+
+/// A grammar compiled against a specific [`OptConfig`], ready to parse.
+///
+/// Construction applies the configured grammar transforms, runs the
+/// analyses the runtime strategies need, and lowers every expression into
+/// the arena. The same compiled grammar can parse any number of inputs.
+#[derive(Debug, Clone)]
+pub struct CompiledGrammar {
+    pub(crate) cfg: OptConfig,
+    pub(crate) prods: Vec<CProd>,
+    pub(crate) exprs: Vec<CExpr>,
+    /// Per-expression: can it ever contribute a semantic value?
+    pub(crate) yields: Vec<bool>,
+    /// Per-expression: does its subtree (transitively) read parser state?
+    pub(crate) reads_state: Vec<bool>,
+    pub(crate) root: ProdId,
+    /// Total memoization slots (productions + repetition helpers).
+    pub(crate) n_slots: u32,
+    /// The grammar as supplied (pre-transform) — what `with_root` and
+    /// `grammar()` expose.
+    source: Grammar,
+}
+
+struct Lowering<'a> {
+    cfg: OptConfig,
+    grammar: &'a Grammar,
+    access: &'a [modpeg_core::analysis::StateAccess],
+    exprs: Vec<CExpr>,
+    yields: Vec<bool>,
+    reads: Vec<bool>,
+    writes: Vec<bool>,
+    next_slot: u32,
+    first: Option<(Vec<FirstSet>, Vec<bool>)>,
+}
+
+impl<'a> Lowering<'a> {
+    fn push(&mut self, e: CExpr, yields: bool) -> EId {
+        let (reads, writes) = state_flags(&e, &self.reads, &self.writes, self.access);
+        let id = self.exprs.len() as EId;
+        self.exprs.push(e);
+        self.yields.push(yields);
+        self.reads.push(reads);
+        self.writes.push(writes);
+        id
+    }
+
+    /// A memo slot for a repetition helper — suppressed when the inner
+    /// expression mutates state (replaying the memoized value would skip
+    /// the mutation).
+    fn helper_slot(&mut self, inner: EId) -> Option<u32> {
+        if self.cfg.iterative_repetition || self.writes[inner as usize] {
+            None
+        } else {
+            let s = self.next_slot;
+            self.next_slot += 1;
+            Some(s)
+        }
+    }
+
+    fn expr_first(&self, e: &Expr<ProdId>) -> Option<FirstSet> {
+        self.first.as_ref().map(|(sets, nullables)| {
+            modpeg_core::analysis::expr_first(e, sets, nullables)
+        })
+    }
+
+    fn lower(&mut self, e: &Expr<ProdId>) -> EId {
+        match e {
+            Expr::Empty => self.push(CExpr::Empty, false),
+            Expr::Any => self.push(CExpr::Any, false),
+            Expr::Literal(s) => {
+                let desc = Rc::from(format!("\"{}\"", modpeg_core::escape_literal(s)));
+                self.push(
+                    CExpr::Lit {
+                        text: s.clone(),
+                        desc,
+                    },
+                    false,
+                )
+            }
+            Expr::Class(c) => {
+                let desc = Rc::from(c.to_string());
+                self.push(
+                    CExpr::Class {
+                        class: c.clone(),
+                        desc,
+                    },
+                    false,
+                )
+            }
+            Expr::Ref(r) => {
+                let yields = self.grammar.production(*r).kind != ProdKind::Void;
+                self.push(CExpr::Ref(*r), yields)
+            }
+            Expr::Seq(xs) => {
+                let ids: Vec<EId> = xs.iter().map(|x| self.lower(x)).collect();
+                let yields = ids.iter().any(|i| self.yields[*i as usize]);
+                self.push(CExpr::Seq(ids), yields)
+            }
+            Expr::Choice(xs) => {
+                let ids: Vec<EId> = xs.iter().map(|x| self.lower(x)).collect();
+                let first = self.first.is_some().then(|| {
+                    xs.iter()
+                        .map(|x| {
+                            let f = self.expr_first(x).expect("first analysis enabled");
+                            (f, Rc::from(first_set_desc(&f)))
+                        })
+                        .collect()
+                });
+                let yields = ids.iter().any(|i| self.yields[*i as usize]);
+                self.push(CExpr::Choice { arms: ids, first }, yields)
+            }
+            Expr::Opt(inner) => {
+                let i = self.lower(inner);
+                let slot = self.helper_slot(i);
+                let yields = self.yields[i as usize];
+                self.push(CExpr::Opt { inner: i, slot }, yields)
+            }
+            Expr::Star(inner) => {
+                let i = self.lower(inner);
+                let slot = self.helper_slot(i);
+                let yields = self.yields[i as usize];
+                self.push(CExpr::Star { inner: i, slot }, yields)
+            }
+            Expr::Plus(inner) => {
+                let i = self.lower(inner);
+                let slot = self.helper_slot(i);
+                let yields = self.yields[i as usize];
+                self.push(CExpr::Plus { inner: i, slot }, yields)
+            }
+            Expr::And(inner) => {
+                let i = self.lower(inner);
+                self.push(CExpr::And(i), false)
+            }
+            Expr::Not(inner) => {
+                let i = self.lower(inner);
+                self.push(CExpr::Not(i), false)
+            }
+            Expr::Capture(inner) => {
+                let i = self.lower(inner);
+                self.push(CExpr::Capture(i), true)
+            }
+            Expr::Void(inner) => {
+                let i = self.lower(inner);
+                self.push(CExpr::Void(i), false)
+            }
+            Expr::StateDefine(inner) => {
+                let i = self.lower(inner);
+                let yields = self.yields[i as usize];
+                self.push(CExpr::SDefine(i), yields)
+            }
+            Expr::StateIsDef(inner) => {
+                let i = self.lower(inner);
+                let yields = self.yields[i as usize];
+                self.push(CExpr::SIsDef(i), yields)
+            }
+            Expr::StateIsNotDef(inner) => {
+                let i = self.lower(inner);
+                let yields = self.yields[i as usize];
+                self.push(CExpr::SIsNotDef(i), yields)
+            }
+            Expr::StateScope(inner) => {
+                let i = self.lower(inner);
+                let yields = self.yields[i as usize];
+                self.push(CExpr::SScope(i), yields)
+            }
+        }
+    }
+
+    fn lower_alt(
+        &mut self,
+        prod_short: &str,
+        alt: &modpeg_core::Alternative,
+    ) -> CAlt {
+        let node_kind = match &alt.label {
+            Some(l) => NodeKind::new(format!("{prod_short}.{l}")),
+            None => NodeKind::new(prod_short),
+        };
+        let passthrough = alt.label.is_none() && !matches!(alt.expr, Expr::Seq(_));
+        let first = self
+            .expr_first(&alt.expr)
+            .map(|f| (f, Rc::from(first_set_desc(&f))));
+        let expr = self.lower(&alt.expr);
+        CAlt {
+            expr,
+            node_kind,
+            passthrough,
+            first,
+        }
+    }
+}
+
+impl CompiledGrammar {
+    /// Compiles `grammar` under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns diagnostics if a grammar transform produces an invalid
+    /// grammar (a toolkit bug, surfaced rather than swallowed).
+    pub fn compile(grammar: &Grammar, cfg: OptConfig) -> Result<Self, Diagnostics> {
+        let g = modpeg_core::transform::pipeline(grammar.clone(), cfg.transform_flags())?;
+        let access = state_access(&g);
+        let refcounts = reference_counts(&g);
+
+        // Memoization slots for productions. State *writers* are never
+        // memoized (the mutation would not replay); state *readers* get a
+        // slot whose entries are validated against the state epoch — the
+        // Rats! "flush memoized results on state change" rule.
+        let mut memo_slots: Vec<Option<u32>> = vec![None; g.len()];
+        let mut next_slot = 0u32;
+        for (id, p) in g.iter() {
+            let lr = p.lr.is_some();
+            let skip = if access[id.index()].writes && !lr {
+                true
+            } else if p.attrs.memo || lr {
+                // `memo` forces memoization; left-recursive productions
+                // need a slot for the seed-growing strategy.
+                false
+            } else {
+                (cfg.transient && p.attrs.transient)
+                    || (cfg.transient_auto && refcounts[id.index()] <= 1)
+            };
+            if !skip {
+                memo_slots[id.index()] = Some(next_slot);
+                next_slot += 1;
+            }
+        }
+
+        let first = cfg
+            .terminal_dispatch
+            .then(|| (first_sets(&g), nullable(&g)));
+
+        let mut lowering = Lowering {
+            cfg,
+            grammar: &g,
+            access: &access,
+            exprs: Vec::new(),
+            yields: Vec::new(),
+            reads: Vec::new(),
+            writes: Vec::new(),
+            next_slot,
+            first,
+        };
+
+        let mut prods = Vec::with_capacity(g.len());
+        for (id, p) in g.iter() {
+            let short = p.short_name().to_owned();
+            let alts: Vec<CAlt> = p.alts.iter().map(|a| lowering.lower_alt(&short, a)).collect();
+            let lr = p.lr.as_ref().map(|lr| CLr {
+                bases: lr.bases.iter().map(|a| lowering.lower_alt(&short, a)).collect(),
+                tails: lr
+                    .tails
+                    .iter()
+                    .map(|a| {
+                        let mut c = lowering.lower_alt(&short, a);
+                        // Tails always wrap (the original alternative had a
+                        // leading self-reference, so it was never a single
+                        // element).
+                        c.passthrough = false;
+                        c
+                    })
+                    .collect(),
+            });
+            let text_takes_inner = p.kind == ProdKind::Text
+                && alts.iter().any(|a| lowering.yields[a.expr as usize]);
+            prods.push(CProd {
+                name: p.name.clone(),
+                kind: p.kind,
+                with_span: p.attrs.with_location || !cfg.location_elision,
+                memo_slot: memo_slots[id.index()],
+                epoch_check: access[id.index()].any(),
+                text_takes_inner,
+                alts,
+                lr,
+            });
+        }
+
+        let n_slots = lowering.next_slot;
+        let exprs = lowering.exprs;
+        let yields = lowering.yields;
+        let reads_state = lowering.reads;
+        Ok(CompiledGrammar {
+            cfg,
+            prods,
+            exprs,
+            yields,
+            reads_state,
+            root: g.root(),
+            n_slots,
+            source: grammar.clone(),
+        })
+    }
+
+    /// The optimization configuration this grammar was compiled under.
+    pub fn config(&self) -> OptConfig {
+        self.cfg
+    }
+
+    /// The grammar as supplied (before optimization transforms).
+    pub fn grammar(&self) -> &Grammar {
+        &self.source
+    }
+
+    /// Number of productions after grammar transforms.
+    pub fn production_count(&self) -> usize {
+        self.prods.len()
+    }
+
+    /// Number of memoization slots (memoized productions plus repetition
+    /// helpers under the unoptimized repetition strategy).
+    pub fn memo_slot_count(&self) -> u32 {
+        self.n_slots
+    }
+
+    /// Number of productions that will be memoized.
+    pub fn memoized_production_count(&self) -> usize {
+        self.prods.iter().filter(|p| p.memo_slot.is_some()).count()
+    }
+
+    /// Internal IR accessors for the code generator.
+    #[doc(hidden)]
+    pub fn ir_prods(&self) -> &[CProd] {
+        &self.prods
+    }
+
+    /// Internal IR accessor for the code generator.
+    #[doc(hidden)]
+    pub fn ir_exprs(&self) -> &[CExpr] {
+        &self.exprs
+    }
+
+    /// Internal IR accessor for the code generator.
+    #[doc(hidden)]
+    pub fn ir_yields(&self) -> &[bool] {
+        &self.yields
+    }
+
+    /// Internal IR accessor for the code generator.
+    #[doc(hidden)]
+    pub fn ir_root(&self) -> ProdId {
+        self.root
+    }
+
+    /// Changes the start production by (possibly short) name.
+    ///
+    /// # Errors
+    ///
+    /// Returns diagnostics when the name is unknown/ambiguous or the
+    /// recompiled grammar fails validation.
+    pub fn with_root(&self, name: &str) -> Result<CompiledGrammar, Diagnostics> {
+        let id = self.source.find(name).ok_or_else(|| {
+            Diagnostics::from(modpeg_core::Diagnostic::error(format!(
+                "unknown or ambiguous start production `{name}`"
+            )))
+        })?;
+        CompiledGrammar::compile(&self.source.with_root(id)?, self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modpeg_core::{Expr as E, GrammarBuilder};
+
+    fn sample() -> Grammar {
+        let mut b = GrammarBuilder::new("m");
+        b.production(
+            "Top",
+            ProdKind::Node,
+            vec![(None, E::seq(vec![E::Ref("Word".into()), E::Star(Box::new(E::Ref("Word".into())))]))],
+        );
+        b.production(
+            "Word",
+            ProdKind::Text,
+            vec![(
+                None,
+                E::Capture(Box::new(E::Plus(Box::new(E::Class(CharClass::from_ranges(
+                    vec![('a', 'z')],
+                    false,
+                )))))),
+            )],
+        );
+        b.build("Top").unwrap()
+    }
+
+    #[test]
+    fn compiles_and_counts() {
+        let g = sample();
+        let c = CompiledGrammar::compile(&g, OptConfig::none()).unwrap();
+        assert_eq!(c.production_count(), 2);
+        // No optimizations: both productions memoized, plus helper slots
+        // for the two repetitions.
+        assert_eq!(c.memoized_production_count(), 2);
+        assert_eq!(c.memo_slot_count(), 4);
+    }
+
+    #[test]
+    fn iterative_repetition_drops_helper_slots() {
+        let g = sample();
+        let mut cfg = OptConfig::none();
+        cfg.set("iterative-repetition", true);
+        let c = CompiledGrammar::compile(&g, cfg).unwrap();
+        assert_eq!(c.memo_slot_count(), 2);
+    }
+
+    #[test]
+    fn transient_auto_skips_once_referenced() {
+        let g = sample();
+        let mut cfg = OptConfig::none();
+        cfg.set("transient-auto", true);
+        let c = CompiledGrammar::compile(&g, cfg).unwrap();
+        // Top is referenced once (the root); Word twice.
+        assert_eq!(c.memoized_production_count(), 1);
+    }
+
+    #[test]
+    fn dispatch_tables_present_only_when_enabled() {
+        let g = sample();
+        let c = CompiledGrammar::compile(&g, OptConfig::none()).unwrap();
+        assert!(c.prods[0].alts[0].first.is_none());
+        let mut cfg = OptConfig::none();
+        cfg.set("terminal-dispatch", true);
+        let c2 = CompiledGrammar::compile(&g, cfg).unwrap();
+        let (f, desc) = c2.prods[0].alts[0].first.clone().expect("first set computed");
+        assert!(f.contains(b'q'));
+        assert!(!f.contains(b'9'));
+        assert!(!desc.is_empty());
+    }
+
+    #[test]
+    fn with_root_switches_start() {
+        let g = sample();
+        let c = CompiledGrammar::compile(&g, OptConfig::all()).unwrap();
+        let c2 = c.with_root("Word").unwrap();
+        assert_eq!(c2.grammar().production(c2.grammar().root()).name, "m.Word");
+        assert!(c.with_root("Nope").is_err());
+    }
+
+    #[test]
+    fn yields_flags() {
+        let g = sample();
+        let c = CompiledGrammar::compile(&g, OptConfig::none()).unwrap();
+        // The root alternative's expression yields (it contains refs to a
+        // Text production).
+        let root_alt = &c.prods[c.root.index()].alts[0];
+        assert!(c.yields[root_alt.expr as usize]);
+    }
+}

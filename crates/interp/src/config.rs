@@ -1,0 +1,222 @@
+//! The optimization configuration: the paper's 16 optimizations as
+//! individually toggleable flags.
+
+use modpeg_core::transform::TransformFlags;
+
+/// Number of optimizations in the battery.
+pub const OPT_COUNT: usize = 16;
+
+/// Canonical names of the optimizations, in the cumulative-study order
+/// (index `i` names the optimization enabled by
+/// [`OptConfig::cumulative`]`(i + 1)` and not by `cumulative(i)`).
+pub const OPT_NAMES: [&str; OPT_COUNT] = [
+    "fold-duplicates",      // O1  grammar: merge duplicate productions
+    "dead-production",      // O2  grammar: drop unreachable productions
+    "inline",               // O3  grammar: inline trivial productions
+    "left-factor",          // O4  grammar: factor common prefixes
+    "char-class-merge",     // O5  grammar: collapse single-char choices
+    "iterative-repetition", // O6  runtime: loops instead of memoized helpers
+    "left-recursion",       // O7  runtime: fold iteration instead of seed growing
+    "transient-auto",       // O8  compile: auto-mark once-referenced productions
+    "transient",            // O9  runtime: honor `transient` (skip memoization)
+    "chunks",               // O10 runtime: chunked memoization columns
+    "errors",               // O11 runtime: farthest-failure only
+    "value-elision",        // O12 runtime: skip value construction when discarded
+    "text-only",            // O13 runtime: text values as spans, not strings
+    "terminal-dispatch",    // O14 runtime: first-byte dispatch in choices
+    "string-match",         // O15 runtime: literal matching by slice compare
+    "location-elision",     // O16 runtime: skip span bookkeeping on nodes
+];
+
+/// Which of the paper's optimizations are enabled.
+///
+/// The default (`OptConfig::default()`) is everything off — the naïve
+/// packrat parser the paper starts from. [`OptConfig::all`] is the fully
+/// optimized parser. [`OptConfig::cumulative`] reproduces the paper's
+/// one-at-a-time ablation.
+///
+/// # Examples
+///
+/// ```
+/// use modpeg_interp::OptConfig;
+///
+/// let naive = OptConfig::none();
+/// assert!(!naive.chunks);
+/// let full = OptConfig::all();
+/// assert!(full.chunks && full.text_only);
+/// assert_eq!(OptConfig::cumulative(0), naive);
+/// assert_eq!(OptConfig::cumulative(16), full);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[allow(missing_docs)] // each field documented by OPT_NAMES order above
+pub struct OptConfig {
+    pub fold_duplicates: bool,
+    pub dead_production: bool,
+    pub inline: bool,
+    pub left_factor: bool,
+    pub char_class_merge: bool,
+    pub iterative_repetition: bool,
+    pub left_recursion_iter: bool,
+    pub transient_auto: bool,
+    pub transient: bool,
+    pub chunks: bool,
+    pub errors: bool,
+    pub value_elision: bool,
+    pub text_only: bool,
+    pub terminal_dispatch: bool,
+    pub string_match: bool,
+    pub location_elision: bool,
+}
+
+impl OptConfig {
+    /// Every optimization disabled: the naïve packrat parser.
+    pub fn none() -> Self {
+        OptConfig::default()
+    }
+
+    /// Every optimization enabled: the parser Rats! would generate.
+    pub fn all() -> Self {
+        OptConfig {
+            fold_duplicates: true,
+            dead_production: true,
+            inline: true,
+            left_factor: true,
+            char_class_merge: true,
+            iterative_repetition: true,
+            left_recursion_iter: true,
+            transient_auto: true,
+            transient: true,
+            chunks: true,
+            errors: true,
+            value_elision: true,
+            text_only: true,
+            terminal_dispatch: true,
+            string_match: true,
+            location_elision: true,
+        }
+    }
+
+    /// The first `n` optimizations (in [`OPT_NAMES`] order) enabled — the
+    /// configuration for step `n` of the cumulative ablation study.
+    /// `n` is clamped to [`OPT_COUNT`].
+    pub fn cumulative(n: usize) -> Self {
+        let mut cfg = OptConfig::none();
+        for flag in cfg.flags_mut().into_iter().take(n) {
+            *flag = true;
+        }
+        cfg
+    }
+
+    /// All optimizations except the one named — the *leave-one-out*
+    /// ablation configuration. Returns `None` for an unknown name.
+    pub fn all_except(name: &str) -> Option<Self> {
+        let mut cfg = OptConfig::all();
+        cfg.set(name, false).then_some(cfg)
+    }
+
+    /// Returns the enabled flags by name.
+    pub fn enabled(&self) -> Vec<&'static str> {
+        let mut cfg = *self;
+        let flags = cfg.flags_mut();
+        let values: Vec<bool> = flags.into_iter().map(|f| *f).collect();
+        OPT_NAMES
+            .iter()
+            .zip(values)
+            .filter_map(|(name, on)| on.then_some(*name))
+            .collect()
+    }
+
+    /// Enables/disables the optimization named `name`.
+    ///
+    /// Returns `false` (and changes nothing) when the name is unknown.
+    pub fn set(&mut self, name: &str, on: bool) -> bool {
+        let Some(idx) = OPT_NAMES.iter().position(|n| *n == name) else {
+            return false;
+        };
+        *self.flags_mut()[idx] = on;
+        true
+    }
+
+    fn flags_mut(&mut self) -> [&mut bool; OPT_COUNT] {
+        [
+            &mut self.fold_duplicates,
+            &mut self.dead_production,
+            &mut self.inline,
+            &mut self.left_factor,
+            &mut self.char_class_merge,
+            &mut self.iterative_repetition,
+            &mut self.left_recursion_iter,
+            &mut self.transient_auto,
+            &mut self.transient,
+            &mut self.chunks,
+            &mut self.errors,
+            &mut self.value_elision,
+            &mut self.text_only,
+            &mut self.terminal_dispatch,
+            &mut self.string_match,
+            &mut self.location_elision,
+        ]
+    }
+
+    /// The grammar-transform half of the configuration.
+    pub fn transform_flags(&self) -> TransformFlags {
+        TransformFlags {
+            fold_duplicates: self.fold_duplicates,
+            eliminate_dead: self.dead_production,
+            inline_trivial: self.inline,
+            left_factor: self.left_factor,
+            merge_classes: self.char_class_merge,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_matches_names_order() {
+        let c5 = OptConfig::cumulative(5);
+        assert!(c5.fold_duplicates && c5.char_class_merge);
+        assert!(!c5.iterative_repetition);
+        let c6 = OptConfig::cumulative(6);
+        assert!(c6.iterative_repetition && !c6.left_recursion_iter);
+        // Clamps.
+        assert_eq!(OptConfig::cumulative(99), OptConfig::all());
+    }
+
+    #[test]
+    fn enabled_lists_names() {
+        assert!(OptConfig::none().enabled().is_empty());
+        let e = OptConfig::cumulative(2).enabled();
+        assert_eq!(e, vec!["fold-duplicates", "dead-production"]);
+        assert_eq!(OptConfig::all().enabled().len(), OPT_COUNT);
+    }
+
+    #[test]
+    fn all_except_disables_exactly_one() {
+        let cfg = OptConfig::all_except("chunks").unwrap();
+        assert!(!cfg.chunks);
+        assert_eq!(cfg.enabled().len(), OPT_COUNT - 1);
+        assert!(OptConfig::all_except("bogus").is_none());
+    }
+
+    #[test]
+    fn set_by_name() {
+        let mut cfg = OptConfig::none();
+        assert!(cfg.set("chunks", true));
+        assert!(cfg.chunks);
+        assert!(cfg.set("chunks", false));
+        assert!(!cfg.chunks);
+        assert!(!cfg.set("bogus", true));
+    }
+
+    #[test]
+    fn transform_flags_projection() {
+        let cfg = OptConfig::cumulative(5);
+        let tf = cfg.transform_flags();
+        assert!(tf.fold_duplicates && tf.merge_classes);
+        let tf0 = OptConfig::none().transform_flags();
+        assert_eq!(tf0, TransformFlags::none());
+    }
+}

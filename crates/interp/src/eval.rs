@@ -1,0 +1,1433 @@
+//! The packrat evaluator: executes a [`CompiledGrammar`] against input.
+//!
+//! Every optimization flag changes *how* this module works, never *what*
+//! it produces — the property tests assert that any two configurations
+//! yield identical syntax trees on identical input.
+
+use modpeg_core::{ProdId, ProdKind};
+use modpeg_runtime::{
+    ChunkMemo, Fail, Failures, HashMemo, Input, MemoAnswer, MemoTable, NodeKind, Out, ParseError,
+    ScopedState, Span, Stats, SyntaxTree, Value,
+};
+
+use crate::compile::{CAlt, CExpr, CompiledGrammar, EId};
+
+enum Memo {
+    Hash(HashMemo),
+    Chunk(ChunkMemo),
+}
+
+impl Memo {
+    fn probe(&self, slot: u32, pos: u32) -> Option<&MemoAnswer> {
+        match self {
+            Memo::Hash(m) => m.probe(slot, pos),
+            Memo::Chunk(m) => m.probe(slot, pos),
+        }
+    }
+
+    fn store(&mut self, slot: u32, pos: u32, ans: MemoAnswer) {
+        match self {
+            Memo::Hash(m) => m.store(slot, pos, ans),
+            Memo::Chunk(m) => m.store(slot, pos, ans),
+        }
+    }
+
+    fn retained_bytes(&self) -> u64 {
+        match self {
+            Memo::Hash(m) => m.retained_bytes(),
+            Memo::Chunk(m) => m.retained_bytes(),
+        }
+    }
+}
+
+type EvalResult = Result<(u32, Out), Fail>;
+
+struct Run<'g, 'i> {
+    g: &'g CompiledGrammar,
+    input: Input<'i>,
+    memo: Memo,
+    state: ScopedState,
+    failures: Failures,
+    stats: Stats,
+    /// Failure recording is suppressed inside predicates.
+    suppress: u32,
+    /// Alternative-coverage recording, when requested.
+    coverage: Option<crate::Coverage>,
+    /// Chronological tracing, when requested.
+    trace: Option<crate::Trace>,
+}
+
+impl<'g, 'i> Run<'g, 'i> {
+    fn new(g: &'g CompiledGrammar, text: &'i str) -> Self {
+        let input = Input::new(text);
+        let memo = if g.cfg.chunks {
+            Memo::Chunk(ChunkMemo::new(g.n_slots, input.len()))
+        } else {
+            Memo::Hash(HashMemo::new())
+        };
+        let failures = if g.cfg.errors {
+            Failures::new()
+        } else {
+            Failures::recording()
+        };
+        Run {
+            g,
+            input,
+            memo,
+            state: ScopedState::new(),
+            failures,
+            stats: Stats::default(),
+            suppress: 0,
+            coverage: None,
+            trace: None,
+        }
+    }
+
+    fn note(&mut self, pos: u32, desc: &str) {
+        if self.suppress == 0 {
+            self.failures.note(pos, desc);
+        }
+    }
+
+    // ----- value construction (with allocation accounting) -----
+
+    fn make_text(&mut self, lo: u32, hi: u32) -> Value {
+        if self.g.cfg.text_only {
+            Value::Text(Span::new(lo, hi))
+        } else {
+            let s: std::rc::Rc<str> =
+                std::rc::Rc::from(self.input.slice(Span::new(lo, hi)));
+            self.stats.strings_built += 1;
+            self.stats.value_bytes += (hi - lo) as u64 + 16;
+            Value::OwnedText(s)
+        }
+    }
+
+    fn make_node(&mut self, kind: &NodeKind, children: Vec<Value>, span: Option<Span>) -> Value {
+        self.stats.nodes_built += 1;
+        self.stats.value_bytes += (std::mem::size_of::<modpeg_runtime::Node>()
+            + children.capacity() * std::mem::size_of::<Value>())
+            as u64;
+        match span {
+            Some(s) => Value::Node(std::rc::Rc::new(modpeg_runtime::Node::with_span(
+                kind.clone(),
+                children,
+                s,
+            ))),
+            None => Value::Node(std::rc::Rc::new(modpeg_runtime::Node::new(
+                kind.clone(),
+                children,
+            ))),
+        }
+    }
+
+    /// Builds a list value. Values that are themselves lists are spliced
+    /// in (one level): `x ("," x)*` and `(x ("," x)*)?` both yield one
+    /// flat list of `x`s, matching how grammar authors read the idiom.
+    fn make_list(&mut self, items: Vec<Value>) -> Value {
+        let items = if items.iter().any(|v| matches!(v, Value::List(_))) {
+            let mut flat = Vec::with_capacity(items.len());
+            for v in items {
+                match v {
+                    Value::List(l) => flat.extend(l.iter().cloned()),
+                    other => flat.push(other),
+                }
+            }
+            flat
+        } else {
+            items
+        };
+        self.stats.lists_built += 1;
+        self.stats.value_bytes +=
+            (std::mem::size_of::<Vec<Value>>() + items.capacity() * std::mem::size_of::<Value>())
+                as u64;
+        Value::list(items)
+    }
+
+    // ----- productions -----
+
+    fn eval_prod(&mut self, id: ProdId, pos: u32) -> Result<(u32, Value), Fail> {
+        let g = self.g;
+        let p = &g.prods[id.index()];
+        if let Some(slot) = p.memo_slot {
+            self.stats.memo_probes += 1;
+            if let Some(ans) = self.memo.probe(slot, pos) {
+                if p.epoch_check && ans.epoch != self.state.epoch() {
+                    self.stats.memo_stale += 1;
+                } else {
+                    self.stats.memo_hits += 1;
+                    let hit = match &ans.outcome {
+                        None => Err(Fail),
+                        Some((end, value)) => Ok((*end, value.clone())),
+                    };
+                    if let Some(t) = &mut self.trace {
+                        t.push(
+                            id.0,
+                            pos,
+                            crate::TraceOutcome::MemoHit {
+                                matched: hit.is_ok(),
+                            },
+                        );
+                    }
+                    return hit;
+                }
+            }
+        }
+        self.stats.productions_evaluated += 1;
+        if let Some(t) = &mut self.trace {
+            t.push(id.0, pos, crate::TraceOutcome::Enter);
+            t.depth += 1;
+        }
+        let result = if p.lr.is_some() {
+            if g.cfg.left_recursion_iter {
+                self.eval_lr_fold(id, pos)
+            } else {
+                self.eval_lr_seed(id, pos)
+            }
+        } else {
+            self.eval_alts(id, false, pos)
+        };
+        if let Some(t) = &mut self.trace {
+            t.depth = t.depth.saturating_sub(1);
+            let outcome = match &result {
+                Ok((end, _)) => crate::TraceOutcome::Matched { end: *end },
+                Err(_) => crate::TraceOutcome::Failed,
+            };
+            t.push(id.0, pos, outcome);
+        }
+        if let Some(slot) = p.memo_slot {
+            // The seed-growing strategy stores its own final answer.
+            if p.lr.is_none() || g.cfg.left_recursion_iter {
+                self.stats.memo_stores += 1;
+                let epoch = if p.epoch_check { self.state.epoch() } else { 0 };
+                let ans = match &result {
+                    Ok((end, v)) => MemoAnswer::success(epoch, *end, v.clone()),
+                    Err(_) => MemoAnswer::fail(epoch),
+                };
+                self.memo.store(slot, pos, ans);
+            }
+        }
+        result
+    }
+
+    /// The static "do we build inner values" decision for a production.
+    fn inner_want(&self, kind: ProdKind, text_takes_inner: bool) -> bool {
+        match kind {
+            ProdKind::Node => true,
+            // A String production that contains a capture (or textual
+            // reference) must build it — that's its value.
+            ProdKind::Text => text_takes_inner || !self.g.cfg.value_elision,
+            ProdKind::Void => !self.g.cfg.value_elision,
+        }
+    }
+
+    /// Evaluates a production's alternatives (either the original list or,
+    /// for `lr_bases`, the base alternatives of a split production) and
+    /// builds the production-level value.
+    fn eval_alts(&mut self, id: ProdId, lr_bases: bool, pos: u32) -> Result<(u32, Value), Fail> {
+        let g = self.g;
+        let p = &g.prods[id.index()];
+        let alts: &[CAlt] = if lr_bases {
+            &p.lr.as_ref().expect("lr_bases implies split").bases
+        } else {
+            &p.alts
+        };
+        let want = self.inner_want(p.kind, p.text_takes_inner);
+        let byte = self.input.byte_at(pos);
+        for (alt_idx, alt) in alts.iter().enumerate() {
+            if let Some((first, desc)) = &alt.first {
+                if !first.admits(byte) {
+                    // Dispatch skips the alternative, but the farthest-
+                    // failure record must still reflect what was expected.
+                    self.note(pos, &desc.clone());
+                    continue;
+                }
+            }
+            let mark = self.state.mark();
+            match self.eval(alt.expr, pos, want) {
+                Ok((end, out)) => {
+                    if let Some(cov) = &mut self.coverage {
+                        cov.hit(id.index(), alt_idx);
+                    }
+                    let value =
+                        self.finish_alt(p.kind, p.with_span, p.text_takes_inner, alt, out, pos, end);
+                    return Ok((end, value));
+                }
+                Err(_) => {
+                    self.state.rollback(mark);
+                    self.stats.backtracks += 1;
+                }
+            }
+        }
+        Err(Fail)
+    }
+
+    #[allow(clippy::too_many_arguments)] // one call site; a struct would obscure it
+    fn finish_alt(
+        &mut self,
+        kind: ProdKind,
+        with_span: bool,
+        text_takes_inner: bool,
+        alt: &CAlt,
+        out: Out,
+        pos: u32,
+        end: u32,
+    ) -> Value {
+        match kind {
+            ProdKind::Void => Value::Unit,
+            ProdKind::Text => {
+                if text_takes_inner {
+                    let mut values = out.into_values();
+                    if matches!(
+                        values.first(),
+                        Some(Value::Text(_) | Value::OwnedText(_))
+                    ) {
+                        return values.swap_remove(0);
+                    }
+                }
+                self.make_text(pos, end)
+            }
+            ProdKind::Node => {
+                let mut children = out.into_values();
+                if alt.passthrough && children.len() == 1 {
+                    return children.pop().expect("len checked");
+                }
+                let span = with_span.then(|| Span::new(pos, end));
+                self.make_node(&alt.node_kind.clone(), std::mem::take(&mut children), span)
+            }
+        }
+    }
+
+    /// Optimized left recursion: match a base once, then fold tails.
+    fn eval_lr_fold(&mut self, id: ProdId, pos: u32) -> Result<(u32, Value), Fail> {
+        let g = self.g;
+        let p = &g.prods[id.index()];
+        let (mut end, mut seed) = self.eval_alts(id, true, pos)?;
+        let tails = &p.lr.as_ref().expect("caller checked").tails;
+        'grow: loop {
+            let byte = self.input.byte_at(end);
+            for tail in tails {
+                if let Some((first, desc)) = &tail.first {
+                    if !first.admits(byte) {
+                        self.note(end, &desc.clone());
+                        continue;
+                    }
+                }
+                let mark = self.state.mark();
+                match self.eval(tail.expr, end, true) {
+                    Ok((e2, out)) => {
+                        if let Some(cov) = &mut self.coverage {
+                            let bases = p.lr.as_ref().expect("caller checked").bases.len();
+                            let tail_idx = p
+                                .lr
+                                .as_ref()
+                                .expect("caller checked")
+                                .tails
+                                .iter()
+                                .position(|t| std::ptr::eq(t, tail))
+                                .unwrap_or(0);
+                            cov.hit(id.index(), bases + tail_idx);
+                        }
+                        let mut children = vec![seed];
+                        out.push_into(&mut children);
+                        let span = p.with_span.then(|| Span::new(pos, e2));
+                        seed = self.make_node(&tail.node_kind.clone(), children, span);
+                        end = e2;
+                        continue 'grow;
+                    }
+                    Err(_) => {
+                        self.state.rollback(mark);
+                        self.stats.backtracks += 1;
+                    }
+                }
+            }
+            return Ok((end, seed));
+        }
+    }
+
+    /// Unoptimized left recursion: Warth-style seed growing over the
+    /// original alternatives, re-parsing from scratch each round.
+    fn eval_lr_seed(&mut self, id: ProdId, pos: u32) -> Result<(u32, Value), Fail> {
+        let g = self.g;
+        let p = &g.prods[id.index()];
+        let slot = p
+            .memo_slot
+            .expect("left-recursive productions always have a slot");
+        let epoch = if p.epoch_check { self.state.epoch() } else { 0 };
+        self.memo.store(slot, pos, MemoAnswer::fail(epoch));
+        self.stats.memo_stores += 1;
+        let mut best: Option<(u32, Value)> = None;
+        loop {
+            let r = self.eval_alts(id, false, pos);
+            match r {
+                Ok((end, v)) if best.as_ref().is_none_or(|(b, _)| end > *b) => {
+                    self.memo
+                        .store(slot, pos, MemoAnswer::success(epoch, end, v.clone()));
+                    self.stats.memo_stores += 1;
+                    best = Some((end, v));
+                }
+                _ => break,
+            }
+        }
+        best.ok_or(Fail)
+    }
+
+    // ----- expressions -----
+
+    fn eval(&mut self, eid: EId, pos: u32, want: bool) -> EvalResult {
+        let g = self.g;
+        match &g.exprs[eid as usize] {
+            CExpr::Empty => Ok((pos, Out::None)),
+            CExpr::Any => match self.input.char_at(pos) {
+                Some((_, len)) => Ok((pos + len, Out::None)),
+                None => {
+                    self.note(pos, "any character");
+                    Err(Fail)
+                }
+            },
+            CExpr::Lit { text, desc } => {
+                let bytes = text.as_bytes();
+                if g.cfg.string_match {
+                    self.stats.terminal_comparisons += bytes.len() as u64;
+                    if self.input.starts_with(pos, text) {
+                        Ok((pos + bytes.len() as u32, Out::None))
+                    } else {
+                        self.note(pos, desc);
+                        Err(Fail)
+                    }
+                } else {
+                    let mut p = pos;
+                    for &b in bytes {
+                        self.stats.terminal_comparisons += 1;
+                        match self.input.byte_at(p) {
+                            Some(x) if x == b => p += 1,
+                            _ => {
+                                self.note(pos, &desc.clone());
+                                return Err(Fail);
+                            }
+                        }
+                    }
+                    Ok((p, Out::None))
+                }
+            }
+            CExpr::Class { class, desc } => {
+                self.stats.terminal_comparisons += 1;
+                match self.input.char_at(pos) {
+                    Some((c, len)) if class.matches(c) => Ok((pos + len, Out::None)),
+                    _ => {
+                        self.note(pos, &desc.clone());
+                        Err(Fail)
+                    }
+                }
+            }
+            CExpr::Ref(id) => {
+                let kind = g.prods[id.index()].kind;
+                let (end, value) = self.eval_prod(*id, pos)?;
+                let out = if !want || kind == ProdKind::Void {
+                    Out::None
+                } else {
+                    Out::One(value)
+                };
+                Ok((end, out))
+            }
+            CExpr::Seq(items) => {
+                let mut p = pos;
+                let mut values: Vec<Value> = Vec::new();
+                for &x in items {
+                    let (np, out) = self.eval(x, p, want)?;
+                    p = np;
+                    if want {
+                        out.push_into(&mut values);
+                    }
+                }
+                Ok((p, seq_out(values)))
+            }
+            CExpr::Choice { arms, first } => {
+                let byte = self.input.byte_at(pos);
+                for (i, &arm) in arms.iter().enumerate() {
+                    if let Some(sets) = first {
+                        let (set, desc) = &sets[i];
+                        if !set.admits(byte) {
+                            self.note(pos, &desc.clone());
+                            continue;
+                        }
+                    }
+                    let mark = self.state.mark();
+                    match self.eval(arm, pos, want) {
+                        Ok(r) => return Ok(r),
+                        Err(_) => {
+                            self.state.rollback(mark);
+                            self.stats.backtracks += 1;
+                        }
+                    }
+                }
+                Err(Fail)
+            }
+            CExpr::Opt { inner, slot } => {
+                let yields = g.yields[eid as usize];
+                if let Some(slot) = *slot {
+                    return self.eval_opt_memo(eid, *inner, slot, yields, pos, want);
+                }
+                let mark = self.state.mark();
+                match self.eval(*inner, pos, want) {
+                    Ok((end, out)) => Ok((end, normalize_opt(self, out))),
+                    Err(_) => {
+                        self.state.rollback(mark);
+                        Ok((pos, absent(yields, want)))
+                    }
+                }
+            }
+            CExpr::Star { inner, slot } => {
+                let yields = g.yields[eid as usize];
+                if let Some(slot) = *slot {
+                    return self.eval_rep_memo(eid, *inner, slot, yields, pos, want);
+                }
+                self.eval_star_loop(*inner, yields, pos, want)
+            }
+            CExpr::Plus { inner, slot } => {
+                let yields = g.yields[eid as usize];
+                let (p1, first_out) = self.eval(*inner, pos, want)?;
+                let rest = if let Some(slot) = *slot {
+                    self.eval_rep_memo(eid, *inner, slot, yields, p1, want)
+                } else {
+                    self.eval_star_loop(*inner, yields, p1, want)
+                }?;
+                let (end, rest_out) = rest;
+                if !want || !yields {
+                    return Ok((end, Out::None));
+                }
+                let mut items = first_out.into_values();
+                match rest_out {
+                    Out::One(Value::List(l)) => items.extend(l.iter().cloned()),
+                    Out::None => {}
+                    other => other.push_into(&mut items),
+                }
+                let list = self.make_list(items);
+                Ok((end, Out::One(list)))
+            }
+            CExpr::And(inner) => {
+                let mark = self.state.mark();
+                self.suppress += 1;
+                let r = self.eval(*inner, pos, false);
+                self.suppress -= 1;
+                self.state.rollback(mark);
+                r.map(|_| (pos, Out::None))
+            }
+            CExpr::Not(inner) => {
+                let mark = self.state.mark();
+                self.suppress += 1;
+                let r = self.eval(*inner, pos, false);
+                self.suppress -= 1;
+                self.state.rollback(mark);
+                match r {
+                    Ok(_) => Err(Fail),
+                    Err(_) => Ok((pos, Out::None)),
+                }
+            }
+            CExpr::Capture(inner) => {
+                let inner_want = !g.cfg.value_elision;
+                let (end, _) = self.eval(*inner, pos, inner_want)?;
+                if want {
+                    let text = self.make_text(pos, end);
+                    Ok((end, Out::One(text)))
+                } else {
+                    Ok((end, Out::None))
+                }
+            }
+            CExpr::Void(inner) => {
+                let inner_want = !g.cfg.value_elision;
+                let (end, _) = self.eval(*inner, pos, inner_want)?;
+                Ok((end, Out::None))
+            }
+            CExpr::SDefine(inner) => {
+                // The inner value is the name (always built, even under
+                // value elision — the state operation needs it).
+                let (end, out) = self.eval(*inner, pos, true)?;
+                let name = state_name(&out, self.input.text(), pos, end).to_owned();
+                self.state.define(&name);
+                Ok((end, out))
+            }
+            CExpr::SIsDef(inner) => {
+                let (end, out) = self.eval(*inner, pos, true)?;
+                let name = state_name(&out, self.input.text(), pos, end);
+                if self.state.is_defined(name) {
+                    Ok((end, out))
+                } else {
+                    self.note(pos, "defined name");
+                    Err(Fail)
+                }
+            }
+            CExpr::SIsNotDef(inner) => {
+                let (end, out) = self.eval(*inner, pos, true)?;
+                let name = state_name(&out, self.input.text(), pos, end);
+                if self.state.is_defined(name) {
+                    self.note(pos, "undefined name");
+                    Err(Fail)
+                } else {
+                    Ok((end, out))
+                }
+            }
+            CExpr::SScope(inner) => {
+                let mark = self.state.mark();
+                self.state.push_scope();
+                match self.eval(*inner, pos, want) {
+                    Ok(r) => {
+                        self.state.pop_scope();
+                        Ok(r)
+                    }
+                    Err(e) => {
+                        self.state.rollback(mark);
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Iterative `e*` (the `iterative-repetition` optimization).
+    fn eval_star_loop(&mut self, inner: EId, yields: bool, pos: u32, want: bool) -> EvalResult {
+        let mut p = pos;
+        let mut items: Vec<Value> = Vec::new();
+        loop {
+            let mark = self.state.mark();
+            match self.eval(inner, p, want) {
+                Ok((np, out)) => {
+                    if np == p {
+                        break; // defensive: well-formedness forbids this
+                    }
+                    p = np;
+                    if want && yields {
+                        out.push_into(&mut items);
+                    }
+                }
+                Err(_) => {
+                    self.state.rollback(mark);
+                    break;
+                }
+            }
+        }
+        if want && yields {
+            let list = self.make_list(items);
+            Ok((p, Out::One(list)))
+        } else {
+            Ok((p, Out::None))
+        }
+    }
+
+    /// Memoized recursive `e*` — the unoptimized desugaring into an
+    /// anonymous right-recursive helper production, one memo entry per
+    /// (helper, position), lists rebuilt by consing.
+    fn eval_rep_memo(
+        &mut self,
+        eid: EId,
+        inner: EId,
+        slot: u32,
+        yields: bool,
+        pos: u32,
+        want: bool,
+    ) -> EvalResult {
+        let epoch_check = self.g.reads_state[eid as usize];
+        self.stats.memo_probes += 1;
+        if let Some(ans) = self.memo.probe(slot, pos) {
+            if epoch_check && ans.epoch != self.state.epoch() {
+                self.stats.memo_stale += 1;
+            } else {
+                self.stats.memo_hits += 1;
+                let Some((end, value)) = &ans.outcome else {
+                    // Star always succeeds; a failure entry is impossible.
+                    return Err(Fail);
+                };
+                return Ok((*end, decode_helper(*value == Value::Unit, value.clone())));
+            }
+        }
+        self.stats.productions_evaluated += 1;
+        let mark = self.state.mark();
+        let result: (u32, Out) = match self.eval(inner, pos, want) {
+            Ok((np, out)) if np > pos => {
+                let (end, rest) = self.eval_rep_memo(eid, inner, slot, yields, np, want)?;
+                if want && yields {
+                    let mut items = out.into_values();
+                    if let Out::One(Value::List(l)) = &rest {
+                        items.extend(l.iter().cloned());
+                    }
+                    let list = self.make_list(items);
+                    (end, Out::One(list))
+                } else {
+                    (end, Out::None)
+                }
+            }
+            Ok((_, _)) | Err(_) => {
+                self.state.rollback(mark);
+                if want && yields {
+                    let list = self.make_list(Vec::new());
+                    (pos, Out::One(list))
+                } else {
+                    (pos, Out::None)
+                }
+            }
+        };
+        let encoded = match &result.1 {
+            Out::None => Value::Unit,
+            Out::One(v) => v.clone(),
+            Out::Many(_) => unreachable!("repetitions produce lists"),
+        };
+        let epoch = if epoch_check { self.state.epoch() } else { 0 };
+        self.memo
+            .store(slot, pos, MemoAnswer::success(epoch, result.0, encoded));
+        self.stats.memo_stores += 1;
+        Ok(result)
+    }
+
+    /// Memoized `e?` — the unoptimized desugaring of options.
+    fn eval_opt_memo(
+        &mut self,
+        eid: EId,
+        inner: EId,
+        slot: u32,
+        yields: bool,
+        pos: u32,
+        want: bool,
+    ) -> EvalResult {
+        let epoch_check = self.g.reads_state[eid as usize];
+        self.stats.memo_probes += 1;
+        if let Some(ans) = self.memo.probe(slot, pos) {
+            if !epoch_check || ans.epoch == self.state.epoch() {
+                if let Some((end, value)) = &ans.outcome {
+                    self.stats.memo_hits += 1;
+                    return Ok((*end, decode_helper(*value == Value::Unit, value.clone())));
+                }
+            }
+        }
+        self.stats.productions_evaluated += 1;
+        let mark = self.state.mark();
+        let (end, out) = match self.eval(inner, pos, want) {
+            Ok((end, out)) => (end, normalize_opt(self, out)),
+            Err(_) => {
+                self.state.rollback(mark);
+                (pos, absent(yields, want))
+            }
+        };
+        let encoded = match &out {
+            Out::None => Value::Unit,
+            Out::One(v) => v.clone(),
+            Out::Many(_) => unreachable!("normalize_opt removed Many"),
+        };
+        let epoch = if epoch_check { self.state.epoch() } else { 0 };
+        self.memo
+            .store(slot, pos, MemoAnswer::success(epoch, end, encoded));
+        self.stats.memo_stores += 1;
+        Ok((end, out))
+    }
+
+    fn finish_stats(&mut self) {
+        self.stats.memo_bytes = self.memo.retained_bytes();
+        self.stats.failure_records = self.failures.recorded_len() as u64;
+        self.stats.failure_bytes = self.failures.retained_bytes() as u64;
+    }
+}
+
+fn seq_out(values: Vec<Value>) -> Out {
+    Out::from_values(values)
+}
+
+/// The name a state operation works with: the operand's first textual
+/// value when it has one (an `Identifier` reference or a `$` capture —
+/// excluding its trailing spacing), otherwise the whole matched span.
+fn state_name<'a>(out: &'a Out, input: &'a str, pos: u32, end: u32) -> &'a str {
+    let first = match out {
+        Out::One(v) => Some(v),
+        Out::Many(vs) => vs.first(),
+        Out::None => None,
+    };
+    first
+        .and_then(|v| v.as_text(input))
+        .unwrap_or(&input[pos as usize..end as usize])
+}
+
+/// A matched optional passes its contribution through, except that several
+/// values collapse into one list (so the contribution stays memoizable).
+fn normalize_opt(run: &mut Run<'_, '_>, out: Out) -> Out {
+    match out {
+        Out::Many(vs) => {
+            let list = run.make_list(vs);
+            Out::One(list)
+        }
+        other => other,
+    }
+}
+
+fn absent(yields: bool, want: bool) -> Out {
+    if yields && want {
+        Out::One(Value::Absent)
+    } else {
+        Out::None
+    }
+}
+
+fn decode_helper(is_unit: bool, value: Value) -> Out {
+    if is_unit {
+        Out::None
+    } else {
+        Out::One(value)
+    }
+}
+
+impl CompiledGrammar {
+    /// Parses `text`, requiring the root production to consume all of it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the farthest failure when the
+    /// input does not match (or does not match completely).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use modpeg_core::{Expr, GrammarBuilder, ProdKind};
+    /// use modpeg_interp::{CompiledGrammar, OptConfig};
+    ///
+    /// let mut b = GrammarBuilder::new("m");
+    /// b.production("Word", ProdKind::Text, vec![(None, Expr::Capture(Box::new(
+    ///     Expr::Plus(Box::new(Expr::Class(modpeg_core::CharClass::from_ranges(
+    ///         vec![('a', 'z')], false)))))))]);
+    /// let grammar = b.build("Word")?;
+    /// let parser = CompiledGrammar::compile(&grammar, OptConfig::all())?;
+    /// let tree = parser.parse("hello").expect("matches");
+    /// assert_eq!(tree.to_sexpr(), "\"hello\"");
+    /// assert!(parser.parse("hello!").is_err());
+    /// # Ok::<(), modpeg_core::Diagnostics>(())
+    /// ```
+    pub fn parse(&self, text: &str) -> Result<SyntaxTree, ParseError> {
+        self.parse_with_stats(text).0
+    }
+
+    /// Like [`CompiledGrammar::parse`], also returning the run's [`Stats`]
+    /// (memoization traffic, allocation accounting, backtracking counts).
+    pub fn parse_with_stats(&self, text: &str) -> (Result<SyntaxTree, ParseError>, Stats) {
+        if text.len() > u32::MAX as usize {
+            // Spans and memo positions are 32-bit; refuse cleanly instead
+            // of wrapping.
+            let input = Input::new("");
+            let mut failures = Failures::new();
+            failures.note(0, "input smaller than 4 GiB");
+            return (Err(failures.to_error(&input)), Stats::default());
+        }
+        let mut run = Run::new(self, text);
+        let result = run.eval_prod(self.root, 0);
+        let outcome = match result {
+            Ok((end, value)) if end == run.input.len() => Ok(SyntaxTree::new(text, value)),
+            Ok((end, _)) => {
+                run.note(end, "end of input");
+                Err(run.failures.to_error(&run.input))
+            }
+            Err(_) => Err(run.failures.to_error(&run.input)),
+        };
+        run.finish_stats();
+        (outcome, run.stats)
+    }
+
+    /// Like [`CompiledGrammar::parse`], additionally recording
+    /// alternative-level grammar coverage (which alternatives of which
+    /// productions matched). For directly left-recursive productions the
+    /// alternative indices cover base alternatives first, then tails.
+    ///
+    /// With the `left-recursion` optimization *disabled* (seed growing),
+    /// left-recursive productions record hits against their original
+    /// alternative list instead of the base/tail split.
+    pub fn parse_with_coverage(
+        &self,
+        text: &str,
+    ) -> (Result<SyntaxTree, ParseError>, crate::Coverage) {
+        let names = self.prods.iter().map(|p| p.name.clone()).collect();
+        let labels = self
+            .prods
+            .iter()
+            .map(|p| {
+                let alts: Vec<&CAlt> = match &p.lr {
+                    Some(lr) => lr.bases.iter().chain(lr.tails.iter()).collect(),
+                    None => p.alts.iter().collect(),
+                };
+                alts.iter()
+                    .map(|a| a.node_kind.label().map(str::to_owned))
+                    .collect()
+            })
+            .collect();
+        let mut run = Run::new(self, text);
+        run.coverage = Some(crate::Coverage::new(names, labels));
+        let result = run.eval_prod(self.root, 0);
+        let outcome = match result {
+            Ok((end, value)) if end == run.input.len() => Ok(SyntaxTree::new(text, value)),
+            Ok((end, _)) => {
+                run.note(end, "end of input");
+                Err(run.failures.to_error(&run.input))
+            }
+            Err(_) => Err(run.failures.to_error(&run.input)),
+        };
+        (outcome, run.coverage.expect("installed above"))
+    }
+
+    /// Like [`CompiledGrammar::parse`], additionally recording a bounded
+    /// chronological [`Trace`] of production evaluations (entries, exits,
+    /// memo hits) — the grammar-debugging companion to coverage. At most
+    /// `max_events` events are kept.
+    ///
+    /// [`Trace`]: crate::Trace
+    pub fn parse_with_trace(
+        &self,
+        text: &str,
+        max_events: usize,
+    ) -> (Result<SyntaxTree, ParseError>, crate::Trace) {
+        let names = self.prods.iter().map(|p| p.name.clone()).collect();
+        let mut run = Run::new(self, text);
+        run.trace = Some(crate::Trace::new(names, max_events));
+        let result = run.eval_prod(self.root, 0);
+        let outcome = match result {
+            Ok((end, value)) if end == run.input.len() => Ok(SyntaxTree::new(text, value)),
+            Ok((end, _)) => {
+                run.note(end, "end of input");
+                Err(run.failures.to_error(&run.input))
+            }
+            Err(_) => Err(run.failures.to_error(&run.input)),
+        };
+        (outcome, run.trace.expect("installed above"))
+    }
+
+    /// Parses a prefix of `text`: succeeds as soon as the root matches,
+    /// returning the tree and the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] when the root does not match at offset 0.
+    pub fn parse_prefix(&self, text: &str) -> Result<(SyntaxTree, u32), ParseError> {
+        if text.len() > u32::MAX as usize {
+            let input = Input::new("");
+            let mut failures = Failures::new();
+            failures.note(0, "input smaller than 4 GiB");
+            return Err(failures.to_error(&input));
+        }
+        let mut run = Run::new(self, text);
+        match run.eval_prod(self.root, 0) {
+            Ok((end, value)) => Ok((SyntaxTree::new(text, value), end)),
+            Err(_) => Err(run.failures.to_error(&run.input)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OptConfig;
+    use modpeg_core::{CharClass, Expr as E, Grammar, GrammarBuilder};
+
+    fn r(name: &str) -> E<String> {
+        E::Ref(name.into())
+    }
+
+    fn lc() -> E<String> {
+        E::Class(CharClass::from_ranges(vec![('a', 'z')], false))
+    }
+
+    fn calc_grammar() -> Grammar {
+        let mut b = GrammarBuilder::new("calc");
+        b.production(
+            "Expr",
+            ProdKind::Node,
+            vec![
+                (
+                    Some("Add".into()),
+                    E::seq(vec![r("Expr"), E::literal("+"), r("Term")]),
+                ),
+                (
+                    Some("Sub".into()),
+                    E::seq(vec![r("Expr"), E::literal("-"), r("Term")]),
+                ),
+                (None, r("Term")),
+            ],
+        );
+        b.production(
+            "Term",
+            ProdKind::Node,
+            vec![
+                (
+                    Some("Mul".into()),
+                    E::seq(vec![r("Term"), E::literal("*"), r("Atom")]),
+                ),
+                (None, r("Atom")),
+            ],
+        );
+        b.production(
+            "Atom",
+            ProdKind::Node,
+            vec![
+                (
+                    Some("Paren".into()),
+                    E::seq(vec![E::literal("("), r("Expr"), E::literal(")")]),
+                ),
+                (None, r("Num")),
+            ],
+        );
+        b.production(
+            "Num",
+            ProdKind::Text,
+            vec![(
+                None,
+                E::Capture(Box::new(E::Plus(Box::new(E::Class(CharClass::from_ranges(
+                    vec![('0', '9')],
+                    false,
+                )))))),
+            )],
+        );
+        b.build("Expr").unwrap()
+    }
+
+    fn all_configs() -> Vec<OptConfig> {
+        (0..=crate::OPT_COUNT).map(OptConfig::cumulative).collect()
+    }
+
+    #[test]
+    fn literal_and_class_matching() {
+        let mut b = GrammarBuilder::new("m");
+        b.production(
+            "P",
+            ProdKind::Text,
+            vec![(None, E::Capture(Box::new(E::seq(vec![E::literal("ab"), lc()]))))],
+        );
+        let g = b.build("P").unwrap();
+        for cfg in all_configs() {
+            let c = CompiledGrammar::compile(&g, cfg).unwrap();
+            assert_eq!(c.parse("abz").unwrap().to_sexpr(), "\"abz\"", "{cfg:?}");
+            assert!(c.parse("abZ").is_err());
+            assert!(c.parse("ab").is_err());
+        }
+    }
+
+    #[test]
+    fn node_building_with_labels_and_passthrough() {
+        let mut b = GrammarBuilder::new("m");
+        b.production(
+            "S",
+            ProdKind::Node,
+            vec![
+                (Some("Pair".into()), E::seq(vec![r("W"), E::literal(","), r("W")])),
+                (None, r("W")),
+            ],
+        );
+        b.production(
+            "W",
+            ProdKind::Text,
+            vec![(None, E::Capture(Box::new(E::Plus(Box::new(lc())))))],
+        );
+        let g = b.build("S").unwrap();
+        let c = CompiledGrammar::compile(&g, OptConfig::all()).unwrap();
+        assert_eq!(c.parse("ab,cd").unwrap().to_sexpr(), "(S.Pair \"ab\" \"cd\")");
+        // Unlabeled single-element alternative passes through.
+        assert_eq!(c.parse("ab").unwrap().to_sexpr(), "\"ab\"");
+    }
+
+    #[test]
+    fn repetition_values() {
+        let mut b = GrammarBuilder::new("m");
+        b.production(
+            "S",
+            ProdKind::Node,
+            vec![(Some("List".into()), E::Star(Box::new(r("W"))))],
+        );
+        b.production(
+            "W",
+            ProdKind::Text,
+            vec![(None, E::Capture(Box::new(E::seq(vec![lc(), E::literal(";")]))))],
+        );
+        let g = b.build("S").unwrap();
+        for cfg in all_configs() {
+            let c = CompiledGrammar::compile(&g, cfg).unwrap();
+            assert_eq!(
+                c.parse("a;b;c;").unwrap().to_sexpr(),
+                "(S.List [\"a;\" \"b;\" \"c;\"])",
+                "{:?}",
+                cfg
+            );
+            assert_eq!(c.parse("").unwrap().to_sexpr(), "(S.List [])");
+        }
+    }
+
+    #[test]
+    fn optional_values_present_and_absent() {
+        let mut b = GrammarBuilder::new("m");
+        b.production(
+            "S",
+            ProdKind::Node,
+            vec![(
+                Some("Decl".into()),
+                E::seq(vec![r("W"), E::Opt(Box::new(E::seq(vec![E::literal("="), r("W")])))]),
+            )],
+        );
+        b.production(
+            "W",
+            ProdKind::Text,
+            vec![(None, E::Capture(Box::new(E::Plus(Box::new(lc())))))],
+        );
+        let g = b.build("S").unwrap();
+        for cfg in all_configs() {
+            let c = CompiledGrammar::compile(&g, cfg).unwrap();
+            assert_eq!(c.parse("x=y").unwrap().to_sexpr(), "(S.Decl \"x\" \"y\")");
+            assert_eq!(c.parse("x").unwrap().to_sexpr(), "(S.Decl \"x\" ~)");
+        }
+    }
+
+    #[test]
+    fn predicates() {
+        let mut b = GrammarBuilder::new("m");
+        // Keyword = "if" !letter
+        b.production(
+            "S",
+            ProdKind::Node,
+            vec![
+                (Some("Kw".into()), E::seq(vec![E::literal("if"), E::Not(Box::new(lc())), E::Star(Box::new(E::Any))])),
+                (Some("Id".into()), E::Capture(Box::new(E::Plus(Box::new(lc()))))),
+            ],
+        );
+        let g = b.build("S").unwrap();
+        for cfg in [OptConfig::none(), OptConfig::all()] {
+            let c = CompiledGrammar::compile(&g, cfg).unwrap();
+            assert_eq!(c.parse("if(").unwrap().root().as_node().unwrap().kind().as_str(), "S.Kw");
+            assert_eq!(c.parse("iffy").unwrap().root().as_node().unwrap().kind().as_str(), "S.Id");
+        }
+    }
+
+    #[test]
+    fn left_recursion_builds_left_leaning_tree_in_both_modes() {
+        let g = calc_grammar();
+        for cfg in all_configs() {
+            let c = CompiledGrammar::compile(&g, cfg).unwrap();
+            let t = c.parse("1+2-3").unwrap();
+            assert_eq!(
+                t.to_sexpr(),
+                "(Expr.Sub (Expr.Add \"1\" \"2\") \"3\")",
+                "{:?}",
+                cfg
+            );
+        }
+    }
+
+    #[test]
+    fn precedence_via_grammar_layering() {
+        let g = calc_grammar();
+        let c = CompiledGrammar::compile(&g, OptConfig::all()).unwrap();
+        assert_eq!(
+            c.parse("1+2*3").unwrap().to_sexpr(),
+            "(Expr.Add \"1\" (Term.Mul \"2\" \"3\"))"
+        );
+        assert_eq!(
+            c.parse("(1+2)*3").unwrap().to_sexpr(),
+            "(Term.Mul (Atom.Paren (Expr.Add \"1\" \"2\")) \"3\")"
+        );
+    }
+
+    #[test]
+    fn all_configs_agree_on_calc() {
+        let g = calc_grammar();
+        let reference = CompiledGrammar::compile(&g, OptConfig::none()).unwrap();
+        let inputs = ["7", "1+2", "1+2*3-4", "(1-2)*(3+4)", "((((5))))"];
+        for cfg in all_configs() {
+            let c = CompiledGrammar::compile(&g, cfg).unwrap();
+            for input in inputs {
+                let a = reference.parse(input).unwrap().to_sexpr();
+                let b = c.parse(input).unwrap().to_sexpr();
+                assert_eq!(a, b, "config {:?} diverged on {input}", cfg);
+            }
+            for bad in ["", "1+", "x", "(1", "1++2"] {
+                assert!(c.parse(bad).is_err(), "{cfg:?} accepted {bad:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_error_reports_farthest_failure() {
+        let g = calc_grammar();
+        let c = CompiledGrammar::compile(&g, OptConfig::all()).unwrap();
+        let err = c.parse("1+2*").unwrap_err();
+        assert_eq!(err.offset(), 4);
+        let msg = err.to_string();
+        assert!(msg.contains("expected"), "{msg}");
+    }
+
+    #[test]
+    fn incomplete_consumption_is_an_error() {
+        let g = calc_grammar();
+        let c = CompiledGrammar::compile(&g, OptConfig::all()).unwrap();
+        let err = c.parse("1+2 ").unwrap_err();
+        assert_eq!(err.offset(), 3);
+        assert!(err.to_string().contains("end of input"), "{err}");
+        // parse_prefix accepts the same input.
+        let (tree, consumed) = c.parse_prefix("1+2 ").unwrap();
+        assert_eq!(consumed, 3);
+        assert_eq!(tree.to_sexpr(), "(Expr.Add \"1\" \"2\")");
+    }
+
+    #[test]
+    fn state_typedef_style_disambiguation() {
+        // Decl = "def" Name ";"  (defines Name)
+        // Use  = TypeName ";"    (TypeName only matches defined names)
+        let mut b = GrammarBuilder::new("m");
+        b.production(
+            "Prog",
+            ProdKind::Node,
+            vec![(Some("P".into()), E::Plus(Box::new(r("Item"))))],
+        );
+        b.production(
+            "Item",
+            ProdKind::Node,
+            vec![
+                (
+                    Some("Decl".into()),
+                    E::seq(vec![E::literal("def "), E::StateDefine(Box::new(r("Name"))), E::literal(";")]),
+                ),
+                (
+                    Some("Use".into()),
+                    E::seq(vec![E::StateIsDef(Box::new(r("Name"))), E::literal(";")]),
+                ),
+                (
+                    Some("Other".into()),
+                    E::seq(vec![E::Capture(Box::new(E::Plus(Box::new(lc())))), E::literal("!")]),
+                ),
+            ],
+        );
+        b.production(
+            "Name",
+            ProdKind::Text,
+            vec![(None, E::Capture(Box::new(E::Plus(Box::new(lc())))))],
+        );
+        let g = b.build("Prog").unwrap();
+        for cfg in [OptConfig::none(), OptConfig::all()] {
+            let c = CompiledGrammar::compile(&g, cfg).unwrap();
+            let t = c.parse("def foo;foo;bar!").unwrap();
+            assert_eq!(
+                t.to_sexpr(),
+                "(Prog.P [(Item.Decl \"foo\") (Item.Use \"foo\") (Item.Other \"bar\")])",
+                "{:?}",
+                cfg
+            );
+            // `baz;` without a prior def must not parse as Use.
+            assert!(c.parse("baz;").is_err());
+        }
+    }
+
+    #[test]
+    fn state_scope_limits_definitions() {
+        // Block = "{" Item* "}" in a scope; defs inside don't leak out.
+        let mut b = GrammarBuilder::new("m");
+        b.production(
+            "Prog",
+            ProdKind::Node,
+            vec![(Some("P".into()), E::Plus(Box::new(r("Item"))))],
+        );
+        b.production(
+            "Item",
+            ProdKind::Node,
+            vec![
+                (
+                    Some("Block".into()),
+                    E::StateScope(Box::new(E::seq(vec![
+                        E::literal("{"),
+                        E::Star(Box::new(r("Item"))),
+                        E::literal("}"),
+                    ]))),
+                ),
+                (
+                    Some("Decl".into()),
+                    E::seq(vec![E::literal("def "), E::StateDefine(Box::new(r("Name"))), E::literal(";")]),
+                ),
+                (
+                    Some("Use".into()),
+                    E::seq(vec![E::StateIsDef(Box::new(r("Name"))), E::literal(";")]),
+                ),
+            ],
+        );
+        b.production(
+            "Name",
+            ProdKind::Text,
+            vec![(None, E::Capture(Box::new(E::Plus(Box::new(lc())))))],
+        );
+        let g = b.build("Prog").unwrap();
+        let c = CompiledGrammar::compile(&g, OptConfig::all()).unwrap();
+        assert!(c.parse("{def x;x;}").is_ok());
+        // x defined inside the block is not visible after it.
+        assert!(c.parse("{def x;}x;").is_err());
+        // Outer defs visible inside.
+        assert!(c.parse("def y;{y;}").is_ok());
+    }
+
+    #[test]
+    fn stats_reflect_memoization_strategy() {
+        let g = calc_grammar();
+        let naive = CompiledGrammar::compile(&g, OptConfig::none()).unwrap();
+        let optimized = CompiledGrammar::compile(&g, OptConfig::all()).unwrap();
+        let input = vec!["(1+2)*(3-4)*(5+6)"; 60].join("+");
+        let (r1, s1) = naive.parse_with_stats(&input);
+        let (r2, s2) = optimized.parse_with_stats(&input);
+        assert!(r1.is_ok() && r2.is_ok());
+        assert!(s1.memo_stores > s2.memo_stores, "naive stores more: {s1:?} vs {s2:?}");
+        assert!(s1.total_bytes() > s2.total_bytes());
+        assert!(s2.memo_probes > 0);
+    }
+
+    #[test]
+    fn failure_recording_mode_allocates() {
+        let g = calc_grammar();
+        let mut cfg = OptConfig::all();
+        cfg.set("errors", false);
+        let recording = CompiledGrammar::compile(&g, cfg).unwrap();
+        let (_, stats) = recording.parse_with_stats("(1+2)*(3-4)");
+        assert!(stats.failure_records > 0);
+        let optimized = CompiledGrammar::compile(&g, OptConfig::all()).unwrap();
+        let (_, s2) = optimized.parse_with_stats("(1+2)*(3-4)");
+        assert_eq!(s2.failure_records, 0);
+    }
+
+    #[test]
+    fn owned_text_mode_allocates_strings() {
+        let g = calc_grammar();
+        let mut cfg = OptConfig::all();
+        cfg.set("text-only", false);
+        let c = CompiledGrammar::compile(&g, cfg).unwrap();
+        let (r, stats) = c.parse_with_stats("1+2");
+        assert!(r.is_ok());
+        assert!(stats.strings_built > 0);
+        let (r2, s2) = CompiledGrammar::compile(&g, OptConfig::all())
+            .unwrap()
+            .parse_with_stats("1+2");
+        assert!(r2.is_ok());
+        assert_eq!(s2.strings_built, 0);
+    }
+
+    #[test]
+    fn location_elision_controls_spans() {
+        let g = calc_grammar();
+        let with_spans = {
+            let mut cfg = OptConfig::all();
+            cfg.set("location-elision", false);
+            CompiledGrammar::compile(&g, cfg).unwrap()
+        };
+        let t = with_spans.parse("1+2").unwrap();
+        assert_eq!(t.root().as_node().unwrap().span(), Some(Span::new(0, 3)));
+        let without = CompiledGrammar::compile(&g, OptConfig::all()).unwrap();
+        let t2 = without.parse("1+2").unwrap();
+        assert_eq!(t2.root().as_node().unwrap().span(), None);
+    }
+
+    #[test]
+    fn trace_records_entries_exits_and_memo_hits() {
+        let g = calc_grammar();
+        let c = CompiledGrammar::compile(&g, OptConfig::all()).unwrap();
+        let (r, trace) = c.parse_with_trace("1+2", 10_000);
+        assert!(r.is_ok());
+        assert!(!trace.is_truncated());
+        let text = trace.to_string();
+        assert!(text.contains("> calc.Expr @0"), "{text}");
+        assert!(text.contains("ok"), "{text}");
+        // Entries and exits balance.
+        let enters = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.outcome, crate::TraceOutcome::Enter))
+            .count();
+        let exits = trace
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.outcome,
+                    crate::TraceOutcome::Matched { .. } | crate::TraceOutcome::Failed
+                )
+            })
+            .count();
+        assert_eq!(enters, exits);
+    }
+
+    #[test]
+    fn trace_shows_memo_hits_on_backtracking() {
+        // S = A "x" / A "y": the second alternative re-queries A at the
+        // same position and must be served from the memo table.
+        let mut b = GrammarBuilder::new("m");
+        b.production(
+            "S",
+            ProdKind::Node,
+            vec![
+                (Some("X".into()), E::seq(vec![r("A"), E::literal("x")])),
+                (Some("Y".into()), E::seq(vec![r("A"), E::literal("y")])),
+            ],
+        );
+        b.production(
+            "A",
+            ProdKind::Text,
+            vec![(
+                None,
+                E::Capture(Box::new(E::seq(vec![
+                    E::Plus(Box::new(E::literal("a"))),
+                    E::Opt(Box::new(E::literal("b"))),
+                    E::Opt(Box::new(E::literal("c"))),
+                    E::Opt(Box::new(E::literal("d"))),
+                    E::Opt(Box::new(E::literal("e"))),
+                ]))),
+            )],
+        );
+        let g = b.build("S").unwrap();
+        let mut cfg = OptConfig::all();
+        cfg.set("terminal-dispatch", false); // keep both alternatives live
+        let c = CompiledGrammar::compile(&g, cfg).unwrap();
+        let (r, trace) = c.parse_with_trace("aay", 10_000);
+        assert!(r.is_ok());
+        let has_memo = trace
+            .events()
+            .iter()
+            .any(|e| matches!(e.outcome, crate::TraceOutcome::MemoHit { .. }));
+        assert!(has_memo, "{trace}");
+    }
+
+    #[test]
+    fn trace_truncates_at_cap() {
+        let g = calc_grammar();
+        let c = CompiledGrammar::compile(&g, OptConfig::all()).unwrap();
+        let (_, trace) = c.parse_with_trace("(1+2)*(3+4)", 8);
+        assert!(trace.is_truncated());
+        assert_eq!(trace.events().len(), 8);
+    }
+
+    #[test]
+    fn linear_memo_growth_on_backtracking_grammar() {
+        // S = A "x" / A "y" ; A = "a"+ — classic shared-prefix backtracking.
+        let mut b = GrammarBuilder::new("m");
+        b.production(
+            "S",
+            ProdKind::Node,
+            vec![
+                (Some("X".into()), E::seq(vec![r("A"), E::literal("x")])),
+                (Some("Y".into()), E::seq(vec![r("A"), E::literal("y")])),
+            ],
+        );
+        // A is deliberately large enough that the inliner leaves it alone
+        // (inlining would duplicate the work instead of memoizing it).
+        b.production(
+            "A",
+            ProdKind::Text,
+            vec![(
+                None,
+                E::Capture(Box::new(E::seq(vec![
+                    E::Plus(Box::new(E::literal("a"))),
+                    E::Opt(Box::new(E::literal("b"))),
+                    E::Opt(Box::new(E::literal("c"))),
+                    E::Opt(Box::new(E::literal("d"))),
+                    E::Opt(Box::new(E::literal("e"))),
+                ]))),
+            )],
+        );
+        let g = b.build("S").unwrap();
+        let c = CompiledGrammar::compile(&g, OptConfig::all()).unwrap();
+        let input = format!("{}y", "a".repeat(100));
+        let (r, stats) = c.parse_with_stats(&input);
+        assert!(r.is_ok());
+        // A is evaluated once at position 0 and served from memo for the
+        // second alternative.
+        assert!(stats.memo_hits >= 1, "{stats:?}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Parse tracing: a chronological record of production evaluations.
+//!
+//! The grammar-debugging companion to coverage: when a grammar misparses,
+//! the trace shows which productions were tried where, what each
+//! returned, and which answers came from the memo table (Rats!' verbose
+//! mode). Traces are bounded — a packrat parse of even moderate input
+//! evaluates hundreds of thousands of productions.
+
+use std::fmt;
+
+/// What one traced evaluation did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// Entered the production (matching Exit event follows).
+    Enter,
+    /// Matched, consuming up to `end`.
+    Matched {
+        /// End offset of the match.
+        end: u32,
+    },
+    /// Failed.
+    Failed,
+    /// Answer served from the memo table (`matched` tells which answer).
+    MemoHit {
+        /// Whether the memoized answer was a match.
+        matched: bool,
+    },
+}
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nesting depth of the evaluation.
+    pub depth: u32,
+    /// Index of the production (into the compiled grammar).
+    pub production: u32,
+    /// Input offset the evaluation started at.
+    pub pos: u32,
+    /// What happened.
+    pub outcome: TraceOutcome,
+}
+
+/// A bounded chronological parse trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    pub(crate) names: Vec<String>,
+    pub(crate) events: Vec<TraceEvent>,
+    pub(crate) cap: usize,
+    pub(crate) depth: u32,
+    pub(crate) truncated: bool,
+}
+
+impl Trace {
+    pub(crate) fn new(names: Vec<String>, cap: usize) -> Self {
+        Trace {
+            names,
+            events: Vec::new(),
+            cap,
+            depth: 0,
+            truncated: false,
+        }
+    }
+
+    pub(crate) fn push(&mut self, production: u32, pos: u32, outcome: TraceOutcome) {
+        if self.events.len() >= self.cap {
+            self.truncated = true;
+            return;
+        }
+        self.events.push(TraceEvent {
+            depth: self.depth,
+            production,
+            pos,
+            outcome,
+        });
+    }
+
+    /// The recorded events, chronologically.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Whether the event cap was hit.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The production name for an event.
+    pub fn name_of(&self, event: &TraceEvent) -> &str {
+        self.names
+            .get(event.production as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            let indent = "  ".repeat(e.depth as usize);
+            let name = self.name_of(e);
+            match e.outcome {
+                TraceOutcome::Enter => writeln!(f, "{indent}> {name} @{}", e.pos)?,
+                TraceOutcome::Matched { end } => {
+                    writeln!(f, "{indent}< {name} @{} ok ..{end}", e.pos)?
+                }
+                TraceOutcome::Failed => writeln!(f, "{indent}< {name} @{} fail", e.pos)?,
+                TraceOutcome::MemoHit { matched } => writeln!(
+                    f,
+                    "{indent}= {name} @{} memo {}",
+                    e.pos,
+                    if matched { "ok" } else { "fail" }
+                )?,
+            }
+        }
+        if self.truncated {
+            writeln!(f, "… trace truncated at {} events", self.cap)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_respects_cap_and_depth() {
+        let mut t = Trace::new(vec!["A".into()], 2);
+        t.depth = 1;
+        t.push(0, 0, TraceOutcome::Enter);
+        t.push(0, 0, TraceOutcome::Matched { end: 3 });
+        t.push(0, 3, TraceOutcome::Failed);
+        assert_eq!(t.events().len(), 2);
+        assert!(t.is_truncated());
+        assert_eq!(t.events()[0].depth, 1);
+    }
+
+    #[test]
+    fn display_renders_all_event_kinds() {
+        let mut t = Trace::new(vec!["P".into()], 10);
+        t.push(0, 0, TraceOutcome::Enter);
+        t.depth = 1;
+        t.push(0, 0, TraceOutcome::MemoHit { matched: false });
+        t.depth = 0;
+        t.push(0, 0, TraceOutcome::Matched { end: 2 });
+        t.push(0, 2, TraceOutcome::Failed);
+        let s = t.to_string();
+        assert!(s.contains("> P @0"), "{s}");
+        assert!(s.contains("  = P @0 memo fail"), "{s}");
+        assert!(s.contains("< P @0 ok ..2"), "{s}");
+        assert!(s.contains("< P @2 fail"), "{s}");
+    }
+}

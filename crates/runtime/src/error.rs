@@ -1,0 +1,266 @@
+//! Failure tracking and user-facing parse errors.
+//!
+//! A backtracking PEG parser generates an enormous number of *local*
+//! failures — every ordered-choice alternative that does not match fails
+//! before the next is tried. The paper's `errors` optimization replaces
+//! per-failure error objects with a single *farthest failure* record: the
+//! largest offset at which any expression failed, plus the set of terminals
+//! expected there. [`Failures`] implements both strategies so the cost of
+//! the unoptimized one is measurable.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::input::Input;
+use crate::span::LineCol;
+
+/// Maximum number of failure records retained in the unoptimized
+/// (per-failure) mode, to keep pathological inputs from exhausting memory.
+const MAX_RECORDED: usize = 1 << 22;
+
+/// Accumulator for parse failures.
+///
+/// In *farthest-only* mode (the optimized strategy) it keeps one offset and
+/// the expected terminals there. In *recording* mode it additionally keeps
+/// every individual failure, as an unoptimized parser would allocate error
+/// objects.
+#[derive(Debug, Clone)]
+pub struct Failures {
+    farthest: u32,
+    expected: BTreeSet<String>,
+    /// Individual failure records `(offset, expected)` in recording mode.
+    recorded: Option<Vec<(u32, String)>>,
+    dropped: u64,
+}
+
+impl Failures {
+    /// Creates a farthest-only accumulator (the `errors` optimization on).
+    pub fn new() -> Self {
+        Failures {
+            farthest: 0,
+            expected: BTreeSet::new(),
+            recorded: None,
+            dropped: 0,
+        }
+    }
+
+    /// Creates a recording accumulator (the `errors` optimization off):
+    /// every failure allocates a record, as in a naïve implementation.
+    pub fn recording() -> Self {
+        Failures {
+            farthest: 0,
+            expected: BTreeSet::new(),
+            recorded: Some(Vec::new()),
+            dropped: 0,
+        }
+    }
+
+    /// Notes that a terminal described by `expected` failed to match at
+    /// `offset`.
+    pub fn note(&mut self, offset: u32, expected: &str) {
+        if let Some(rec) = &mut self.recorded {
+            if rec.len() < MAX_RECORDED {
+                rec.push((offset, expected.to_owned()));
+            } else {
+                self.dropped += 1;
+            }
+        }
+        match offset.cmp(&self.farthest) {
+            std::cmp::Ordering::Greater => {
+                self.farthest = offset;
+                self.expected.clear();
+                self.expected.insert(expected.to_owned());
+            }
+            std::cmp::Ordering::Equal => {
+                self.expected.insert(expected.to_owned());
+            }
+            std::cmp::Ordering::Less => {}
+        }
+    }
+
+    /// The farthest offset at which a failure was noted.
+    pub fn farthest(&self) -> u32 {
+        self.farthest
+    }
+
+    /// Terminals expected at the farthest failure offset.
+    pub fn expected(&self) -> impl Iterator<Item = &str> {
+        self.expected.iter().map(String::as_str)
+    }
+
+    /// Number of individual failures recorded (recording mode only).
+    pub fn recorded_len(&self) -> usize {
+        self.recorded.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Estimated heap bytes held by recorded failures.
+    pub fn retained_bytes(&self) -> usize {
+        self.recorded.as_ref().map_or(0, |rec| {
+            rec.capacity() * std::mem::size_of::<(u32, String)>()
+                + rec.iter().map(|(_, s)| s.capacity()).sum::<usize>()
+        })
+    }
+
+    /// Converts the accumulated failures into a user-facing error.
+    pub fn to_error(&self, input: &Input<'_>) -> ParseError {
+        ParseError {
+            offset: self.farthest,
+            position: input.line_col(self.farthest),
+            expected: self.expected.iter().cloned().collect(),
+            found: input
+                .char_at(self.farthest)
+                .map(|(c, _)| c.to_string())
+                .unwrap_or_else(|| "end of input".to_owned()),
+        }
+    }
+}
+
+impl Default for Failures {
+    fn default() -> Self {
+        Failures::new()
+    }
+}
+
+/// A user-facing parse error: where the parse got stuck, what was expected
+/// there, and what was found instead.
+///
+/// # Examples
+///
+/// ```
+/// use modpeg_runtime::{Failures, Input};
+///
+/// let input = Input::new("1 +");
+/// let mut failures = Failures::new();
+/// failures.note(3, "number");
+/// let err = failures.to_error(&input);
+/// assert_eq!(err.offset(), 3);
+/// assert!(err.to_string().contains("expected number"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    offset: u32,
+    position: LineCol,
+    expected: Vec<String>,
+    found: String,
+}
+
+impl ParseError {
+    /// Byte offset of the farthest failure.
+    pub fn offset(&self) -> u32 {
+        self.offset
+    }
+
+    /// Line/column of the farthest failure.
+    pub fn position(&self) -> LineCol {
+        self.position
+    }
+
+    /// Descriptions of the terminals expected at the failure point.
+    pub fn expected(&self) -> &[String] {
+        &self.expected
+    }
+
+    /// Description of what was actually found (a character, or
+    /// `"end of input"`).
+    pub fn found(&self) -> &str {
+        &self.found
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: expected ", self.position)?;
+        match self.expected.as_slice() {
+            [] => write!(f, "nothing")?,
+            [one] => write!(f, "{one}")?,
+            many => {
+                for (i, e) in many.iter().enumerate() {
+                    match i {
+                        0 => write!(f, "{e}")?,
+                        i if i + 1 == many.len() => write!(f, " or {e}")?,
+                        _ => write!(f, ", {e}")?,
+                    }
+                }
+            }
+        }
+        write!(f, ", found {}", self.found)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn farthest_failure_wins() {
+        let mut f = Failures::new();
+        f.note(3, "a");
+        f.note(1, "b");
+        f.note(3, "c");
+        assert_eq!(f.farthest(), 3);
+        let exp: Vec<&str> = f.expected().collect();
+        assert_eq!(exp, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn later_failure_clears_expected_set() {
+        let mut f = Failures::new();
+        f.note(2, "x");
+        f.note(5, "y");
+        assert_eq!(f.farthest(), 5);
+        assert_eq!(f.expected().collect::<Vec<_>>(), vec!["y"]);
+    }
+
+    #[test]
+    fn recording_mode_keeps_every_failure() {
+        let mut f = Failures::recording();
+        f.note(0, "a");
+        f.note(0, "a");
+        f.note(1, "b");
+        assert_eq!(f.recorded_len(), 3);
+        assert!(f.retained_bytes() > 0);
+        // Farthest tracking still works.
+        assert_eq!(f.farthest(), 1);
+    }
+
+    #[test]
+    fn farthest_mode_retains_nothing() {
+        let mut f = Failures::new();
+        f.note(0, "a");
+        assert_eq!(f.recorded_len(), 0);
+        assert_eq!(f.retained_bytes(), 0);
+    }
+
+    #[test]
+    fn error_display_lists_expectations() {
+        let input = Input::new("ab");
+        let mut f = Failures::new();
+        f.note(1, "digit");
+        f.note(1, "'('");
+        f.note(1, "identifier");
+        let err = f.to_error(&input);
+        let msg = err.to_string();
+        assert!(msg.contains("expected '(', digit or identifier"), "{msg}");
+        assert!(msg.contains("found b"), "{msg}");
+        assert_eq!(err.position().to_string(), "1:2");
+    }
+
+    #[test]
+    fn error_at_eof_reports_end_of_input() {
+        let input = Input::new("x");
+        let mut f = Failures::new();
+        f.note(1, "';'");
+        let err = f.to_error(&input);
+        assert_eq!(err.found(), "end of input");
+        assert!(err.to_string().contains("found end of input"));
+    }
+
+    #[test]
+    fn empty_failures_error_is_sensible() {
+        let input = Input::new("");
+        let err = Failures::new().to_error(&input);
+        assert!(err.to_string().contains("expected nothing"));
+    }
+}

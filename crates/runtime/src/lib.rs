@@ -1,0 +1,74 @@
+//! # modpeg-runtime
+//!
+//! The runtime library that packrat parsers produced by the `modpeg` toolkit
+//! link against. It supplies everything a scannerless parsing-expression
+//! parser needs at parse time:
+//!
+//! * [`Input`] — a byte-oriented view of the source text with UTF-8 aware
+//!   character decoding and line/column mapping,
+//! * [`Span`] / [`LineCol`] — source locations,
+//! * [`Value`], [`Node`], [`SyntaxTree`] — generic semantic values (the
+//!   analogue of xtc's *GNode*s),
+//! * [`MemoTable`] — the packrat memoization store, in both a naïve
+//!   hash-map flavour and the *chunked column* flavour that is one of the
+//!   paper's headline optimizations,
+//! * [`ScopedState`] — lightweight, transactional parser state (used for
+//!   context-sensitive corners such as C `typedef` names),
+//! * [`ParseError`] / [`Failures`] — farthest-failure error tracking,
+//! * [`Stats`] — allocation and memoization accounting used by the
+//!   heap-utilization experiments.
+//!
+//! The runtime is deliberately free of dependencies and free of panics on
+//! library paths.
+//!
+//! ## Example
+//!
+//! ```
+//! use modpeg_runtime::{Input, Span};
+//!
+//! let input = Input::new("let x = 1;\nlet y = 2;");
+//! let span = Span::new(4, 5);
+//! assert_eq!(input.slice(span), "x");
+//! assert_eq!(input.line_col(span.lo()).line(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod input;
+mod memo;
+mod navigate;
+mod out;
+mod span;
+mod state;
+mod stats;
+mod value;
+
+pub use error::{Failures, ParseError};
+pub use input::Input;
+pub use memo::{ChunkMemo, HashMemo, MemoAnswer, MemoTable, CHUNK_SIZE};
+pub use out::Out;
+pub use span::{LineCol, LineMap, Span};
+pub use state::{ScopedState, StateMark};
+pub use stats::Stats;
+pub use value::{Node, NodeKind, SyntaxTree, Value};
+
+/// The result of applying one parsing expression: on success, the input
+/// offset after the match together with the semantic value; on failure, the
+/// unit failure token (failure details are accumulated in [`Failures`]).
+pub type PResult = Result<(u32, Value), Fail>;
+
+/// The failure token carried by [`PResult`].
+///
+/// It is a zero-sized marker: all diagnostic information lives in the
+/// parser's [`Failures`] accumulator, which (under the `errors`
+/// optimization) tracks only the farthest failure offset and the terminals
+/// expected there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fail;
+
+impl std::fmt::Display for Fail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("parse failure")
+    }
+}

@@ -1,0 +1,317 @@
+//! Packrat memoization tables.
+//!
+//! A packrat parser stores, for every (production, input position) pair it
+//! evaluates, the outcome of that evaluation, so ordered-choice
+//! backtracking never re-does work — this is what gives PEG parsing its
+//! linear-time guarantee.
+//!
+//! Two implementations are provided:
+//!
+//! * [`HashMemo`] — the straightforward hash map keyed by
+//!   `(production, position)`. This is the unoptimized strategy the paper
+//!   starts from.
+//! * [`ChunkMemo`] — the paper's *chunks* optimization: one lazily
+//!   allocated column per input position, each column holding lazily
+//!   allocated fixed-size chunks of memo slots. Productions that are
+//!   actually memoized get a dense slot index; probing is two array
+//!   indexings and storing allocates at chunk granularity.
+
+use crate::value::Value;
+
+/// Number of memo slots per chunk in [`ChunkMemo`] (the paper groups
+/// roughly ten productions per chunk).
+pub const CHUNK_SIZE: usize = 10;
+
+/// A stored evaluation outcome.
+///
+/// `epoch` supports the paper's interaction between memoization and
+/// parser state: entries written by *state-reading* productions are only
+/// valid while the state is unchanged, so they carry the state epoch at
+/// evaluation time and probes compare it (the Rats! "flush memoized
+/// results on state change" rule, implemented lazily).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoAnswer {
+    /// State epoch at evaluation time (0 when the producer ignores state).
+    pub epoch: u32,
+    /// `None` = the production failed here; `Some((end, value))` = match.
+    pub outcome: Option<(u32, Value)>,
+}
+
+impl MemoAnswer {
+    /// A failure entry.
+    pub fn fail(epoch: u32) -> Self {
+        MemoAnswer {
+            epoch,
+            outcome: None,
+        }
+    }
+
+    /// A success entry.
+    pub fn success(epoch: u32, end: u32, value: Value) -> Self {
+        MemoAnswer {
+            epoch,
+            outcome: Some((end, value)),
+        }
+    }
+}
+
+/// Common interface of the memoization strategies.
+///
+/// `slot` is a dense index assigned to each memoized production; `pos` is a
+/// byte offset into the input.
+pub trait MemoTable {
+    /// Looks up a stored answer.
+    fn probe(&self, slot: u32, pos: u32) -> Option<&MemoAnswer>;
+    /// Stores an answer, overwriting any previous one for the pair.
+    fn store(&mut self, slot: u32, pos: u32, answer: MemoAnswer);
+    /// Number of entries currently stored.
+    fn entries(&self) -> u64;
+    /// Estimated heap bytes held by the table structure itself (semantic
+    /// values are accounted separately when they are built).
+    fn retained_bytes(&self) -> u64;
+}
+
+/// Hash-map memoization: the unoptimized baseline.
+#[derive(Debug, Default)]
+pub struct HashMemo {
+    map: std::collections::HashMap<(u32, u32), MemoAnswer>,
+}
+
+impl HashMemo {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        HashMemo::default()
+    }
+}
+
+impl MemoTable for HashMemo {
+    fn probe(&self, slot: u32, pos: u32) -> Option<&MemoAnswer> {
+        self.map.get(&(slot, pos))
+    }
+
+    fn store(&mut self, slot: u32, pos: u32, answer: MemoAnswer) {
+        self.map.insert((slot, pos), answer);
+    }
+
+    fn entries(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    fn retained_bytes(&self) -> u64 {
+        // Hash map bucket ≈ key + answer + control byte, over capacity.
+        let per = std::mem::size_of::<(u32, u32)>() + std::mem::size_of::<MemoAnswer>() + 1;
+        (self.map.capacity() * per) as u64
+    }
+}
+
+/// One chunk: a fixed block of memo slots, allocated on first write.
+type Chunk = Box<[Option<MemoAnswer>; CHUNK_SIZE]>;
+
+/// One column of [`ChunkMemo`]: lazily allocated chunks of memo slots.
+#[derive(Debug)]
+struct Column {
+    chunks: Box<[Option<Chunk>]>,
+}
+
+impl Column {
+    fn new(n_chunks: usize) -> Self {
+        Column {
+            chunks: std::iter::repeat_with(|| None).take(n_chunks).collect(),
+        }
+    }
+}
+
+/// Chunked column memoization (the paper's *chunks* optimization).
+///
+/// Memory is proportional to the positions actually visited and, within a
+/// column, to the chunks actually written — not to
+/// `|productions| × |input|`.
+///
+/// # Examples
+///
+/// ```
+/// use modpeg_runtime::{ChunkMemo, MemoAnswer, MemoTable, Value};
+///
+/// let mut memo = ChunkMemo::new(25, 100);
+/// memo.store(24, 7, MemoAnswer::fail(0));
+/// assert_eq!(memo.probe(24, 7), Some(&MemoAnswer::fail(0)));
+/// assert_eq!(memo.probe(3, 7), None);
+/// assert_eq!(memo.entries(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ChunkMemo {
+    columns: Vec<Option<Box<Column>>>,
+    n_chunks: usize,
+    stored: u64,
+    allocated_chunks: u64,
+    allocated_columns: u64,
+}
+
+impl ChunkMemo {
+    /// Creates a table for `n_slots` memoized productions over an input of
+    /// `input_len` bytes (positions `0..=input_len` are valid).
+    pub fn new(n_slots: u32, input_len: u32) -> Self {
+        let n_chunks = (n_slots as usize).div_ceil(CHUNK_SIZE).max(1);
+        ChunkMemo {
+            columns: std::iter::repeat_with(|| None)
+                .take(input_len as usize + 1)
+                .collect(),
+            n_chunks,
+            stored: 0,
+            allocated_chunks: 0,
+            allocated_columns: 0,
+        }
+    }
+
+    /// Number of columns that have been materialized.
+    pub fn columns_allocated(&self) -> u64 {
+        self.allocated_columns
+    }
+
+    /// Number of chunks that have been materialized.
+    pub fn chunks_allocated(&self) -> u64 {
+        self.allocated_chunks
+    }
+}
+
+impl MemoTable for ChunkMemo {
+    fn probe(&self, slot: u32, pos: u32) -> Option<&MemoAnswer> {
+        let col = self.columns.get(pos as usize)?.as_ref()?;
+        let chunk = col.chunks.get(slot as usize / CHUNK_SIZE)?.as_ref()?;
+        chunk[slot as usize % CHUNK_SIZE].as_ref()
+    }
+
+    fn store(&mut self, slot: u32, pos: u32, answer: MemoAnswer) {
+        let Some(col_slot) = self.columns.get_mut(pos as usize) else {
+            return; // out-of-range position: ignore rather than grow
+        };
+        let col = match col_slot {
+            Some(c) => c,
+            None => {
+                self.allocated_columns += 1;
+                col_slot.insert(Box::new(Column::new(self.n_chunks)))
+            }
+        };
+        let chunk_idx = slot as usize / CHUNK_SIZE;
+        let Some(chunk_slot) = col.chunks.get_mut(chunk_idx) else {
+            return;
+        };
+        let chunk = match chunk_slot {
+            Some(c) => c,
+            None => {
+                self.allocated_chunks += 1;
+                chunk_slot.insert(Box::new(std::array::from_fn(|_| None)))
+            }
+        };
+        let cell = &mut chunk[slot as usize % CHUNK_SIZE];
+        if cell.is_none() {
+            self.stored += 1;
+        }
+        *cell = Some(answer);
+    }
+
+    fn entries(&self) -> u64 {
+        self.stored
+    }
+
+    fn retained_bytes(&self) -> u64 {
+        let column_ptrs =
+            (self.columns.capacity() * std::mem::size_of::<Option<Box<Column>>>()) as u64;
+        let column_headers = self.allocated_columns
+            * (self.n_chunks * std::mem::size_of::<Option<Box<()>>>()) as u64;
+        let chunk_bytes = self.allocated_chunks
+            * (CHUNK_SIZE * std::mem::size_of::<Option<MemoAnswer>>()) as u64;
+        column_ptrs + column_headers + chunk_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    fn success(end: u32) -> MemoAnswer {
+        MemoAnswer::success(0, end, Value::Text(Span::new(0, end)))
+    }
+
+    fn fail() -> MemoAnswer {
+        MemoAnswer::fail(0)
+    }
+
+    #[test]
+    fn hash_memo_roundtrip() {
+        let mut m = HashMemo::new();
+        assert_eq!(m.probe(1, 2), None);
+        m.store(1, 2, success(5));
+        assert_eq!(m.probe(1, 2), Some(&success(5)));
+        m.store(1, 2, fail());
+        assert_eq!(m.probe(1, 2), Some(&fail()));
+        assert_eq!(m.entries(), 1);
+        assert!(m.retained_bytes() > 0);
+    }
+
+    #[test]
+    fn chunk_memo_roundtrip_across_chunks() {
+        let mut m = ChunkMemo::new(CHUNK_SIZE as u32 * 3, 10);
+        m.store(0, 0, success(1));
+        m.store(CHUNK_SIZE as u32, 0, success(2));
+        m.store(CHUNK_SIZE as u32 * 2 + 3, 10, fail());
+        assert_eq!(m.probe(0, 0), Some(&success(1)));
+        assert_eq!(m.probe(CHUNK_SIZE as u32, 0), Some(&success(2)));
+        assert_eq!(m.probe(CHUNK_SIZE as u32 * 2 + 3, 10), Some(&fail()));
+        assert_eq!(m.probe(1, 0), None);
+        assert_eq!(m.entries(), 3);
+    }
+
+    #[test]
+    fn chunk_memo_allocates_lazily() {
+        let mut m = ChunkMemo::new(40, 1000);
+        assert_eq!(m.columns_allocated(), 0);
+        m.store(0, 500, fail());
+        assert_eq!(m.columns_allocated(), 1);
+        assert_eq!(m.chunks_allocated(), 1);
+        // Same chunk: no new allocation.
+        m.store(5, 500, fail());
+        assert_eq!(m.chunks_allocated(), 1);
+        // Different chunk, same column.
+        m.store(15, 500, fail());
+        assert_eq!(m.chunks_allocated(), 2);
+        assert_eq!(m.columns_allocated(), 1);
+    }
+
+    #[test]
+    fn chunk_memo_overwrite_does_not_double_count() {
+        let mut m = ChunkMemo::new(5, 5);
+        m.store(2, 2, fail());
+        m.store(2, 2, success(3));
+        assert_eq!(m.entries(), 1);
+        assert_eq!(m.probe(2, 2), Some(&success(3)));
+    }
+
+    #[test]
+    fn chunk_memo_position_bounds() {
+        let mut m = ChunkMemo::new(5, 3);
+        // Position input_len is valid (EOF position).
+        m.store(0, 3, fail());
+        assert_eq!(m.probe(0, 3), Some(&fail()));
+        // Out-of-range store is ignored, probe returns None.
+        m.store(0, 4, fail());
+        assert_eq!(m.probe(0, 4), None);
+    }
+
+    #[test]
+    fn chunk_memo_zero_slots_still_valid() {
+        let m = ChunkMemo::new(0, 10);
+        assert_eq!(m.probe(0, 0), None);
+    }
+
+    #[test]
+    fn retained_bytes_grow_with_chunks() {
+        let mut m = ChunkMemo::new(100, 100);
+        let before = m.retained_bytes();
+        for pos in 0..50 {
+            m.store(0, pos, fail());
+        }
+        assert!(m.retained_bytes() > before);
+    }
+}

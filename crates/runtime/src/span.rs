@@ -1,0 +1,265 @@
+//! Source locations: byte spans and line/column mapping.
+
+use std::fmt;
+
+/// A half-open byte range `[lo, hi)` into a source text.
+///
+/// Spans are deliberately 32-bit: the paper's parsers target source files,
+/// not multi-gigabyte blobs, and halving the span size keeps memo entries
+/// and syntax nodes compact.
+///
+/// # Examples
+///
+/// ```
+/// use modpeg_runtime::Span;
+///
+/// let a = Span::new(2, 5);
+/// let b = Span::new(4, 9);
+/// assert_eq!(a.merge(b), Span::new(2, 9));
+/// assert_eq!(a.len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    lo: u32,
+    hi: u32,
+}
+
+impl Span {
+    /// Creates a span covering bytes `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `lo > hi`.
+    #[inline]
+    pub fn new(lo: u32, hi: u32) -> Self {
+        debug_assert!(lo <= hi, "span lo {lo} > hi {hi}");
+        Span { lo, hi }
+    }
+
+    /// Creates an empty span at `at`.
+    #[inline]
+    pub fn point(at: u32) -> Self {
+        Span { lo: at, hi: at }
+    }
+
+    /// The inclusive start offset.
+    #[inline]
+    pub fn lo(self) -> u32 {
+        self.lo
+    }
+
+    /// The exclusive end offset.
+    #[inline]
+    pub fn hi(self) -> u32 {
+        self.hi
+    }
+
+    /// The number of bytes covered.
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.hi - self.lo
+    }
+
+    /// Whether the span covers zero bytes.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The smallest span containing both `self` and `other`.
+    #[inline]
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Whether `offset` falls inside the span.
+    #[inline]
+    pub fn contains(self, offset: u32) -> bool {
+        self.lo <= offset && offset < self.hi
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+/// A 1-based line and column position.
+///
+/// Columns count Unicode scalar values, not bytes, so diagnostics line up
+/// with what an editor displays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineCol {
+    line: u32,
+    col: u32,
+}
+
+impl LineCol {
+    /// Creates a position; both `line` and `col` are 1-based.
+    pub fn new(line: u32, col: u32) -> Self {
+        LineCol { line, col }
+    }
+
+    /// The 1-based line number.
+    pub fn line(self) -> u32 {
+        self.line
+    }
+
+    /// The 1-based column number.
+    pub fn col(self) -> u32 {
+        self.col
+    }
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Pre-computed table of line-start offsets for a source text, enabling
+/// O(log n) conversion from byte offsets to [`LineCol`] positions.
+///
+/// # Examples
+///
+/// ```
+/// use modpeg_runtime::LineMap;
+///
+/// let map = LineMap::new("ab\ncd\n");
+/// assert_eq!(map.line_col("ab\ncd\n", 0).to_string(), "1:1");
+/// assert_eq!(map.line_col("ab\ncd\n", 3).to_string(), "2:1");
+/// assert_eq!(map.line_col("ab\ncd\n", 4).to_string(), "2:2");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LineMap {
+    /// Byte offset at which each line starts; `starts[0] == 0` always.
+    starts: Vec<u32>,
+}
+
+impl LineMap {
+    /// Scans `text` once and records every line start.
+    pub fn new(text: &str) -> Self {
+        let mut starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i as u32 + 1);
+            }
+        }
+        LineMap { starts }
+    }
+
+    /// Number of lines in the mapped text (a trailing newline does start a
+    /// final, possibly empty, line).
+    pub fn line_count(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Byte offset of the start of 1-based `line`, if it exists.
+    pub fn line_start(&self, line: u32) -> Option<u32> {
+        self.starts.get(line.checked_sub(1)? as usize).copied()
+    }
+
+    /// Converts a byte `offset` within `text` to a line/column position.
+    ///
+    /// `text` must be the same string the map was built from; offsets past
+    /// the end clamp to the final position.
+    pub fn line_col(&self, text: &str, offset: u32) -> LineCol {
+        let offset = (offset as usize).min(text.len()) as u32;
+        let line_idx = match self.starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let start = self.starts[line_idx] as usize;
+        let col = text[start..offset as usize].chars().count() as u32 + 1;
+        LineCol::new(line_idx as u32 + 1, col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_basics() {
+        let s = Span::new(3, 7);
+        assert_eq!(s.lo(), 3);
+        assert_eq!(s.hi(), 7);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert!(s.contains(3));
+        assert!(s.contains(6));
+        assert!(!s.contains(7));
+    }
+
+    #[test]
+    fn span_point_is_empty() {
+        let p = Span::point(5);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert!(!p.contains(5));
+    }
+
+    #[test]
+    fn span_merge_is_commutative_and_covering() {
+        let a = Span::new(1, 4);
+        let b = Span::new(10, 12);
+        assert_eq!(a.merge(b), Span::new(1, 12));
+        assert_eq!(b.merge(a), Span::new(1, 12));
+    }
+
+    #[test]
+    fn span_display() {
+        assert_eq!(Span::new(1, 9).to_string(), "1..9");
+    }
+
+    #[test]
+    fn linemap_empty_text() {
+        let map = LineMap::new("");
+        assert_eq!(map.line_count(), 1);
+        assert_eq!(map.line_col("", 0), LineCol::new(1, 1));
+    }
+
+    #[test]
+    fn linemap_single_line() {
+        let t = "hello";
+        let map = LineMap::new(t);
+        assert_eq!(map.line_col(t, 0), LineCol::new(1, 1));
+        assert_eq!(map.line_col(t, 4), LineCol::new(1, 5));
+        // Past-the-end clamps.
+        assert_eq!(map.line_col(t, 99), LineCol::new(1, 6));
+    }
+
+    #[test]
+    fn linemap_multi_line() {
+        let t = "ab\ncd\nefg";
+        let map = LineMap::new(t);
+        assert_eq!(map.line_count(), 3);
+        assert_eq!(map.line_col(t, 2), LineCol::new(1, 3)); // the '\n'
+        assert_eq!(map.line_col(t, 3), LineCol::new(2, 1));
+        assert_eq!(map.line_col(t, 8), LineCol::new(3, 3));
+        assert_eq!(map.line_start(2), Some(3));
+        assert_eq!(map.line_start(4), None);
+        assert_eq!(map.line_start(0), None);
+    }
+
+    #[test]
+    fn linemap_unicode_columns_count_chars() {
+        let t = "αβ\nγδ";
+        let map = LineMap::new(t);
+        // 'α' is two bytes; offset 2 is after it.
+        assert_eq!(map.line_col(t, 2), LineCol::new(1, 2));
+        assert_eq!(map.line_col(t, 5), LineCol::new(2, 1));
+    }
+
+    #[test]
+    fn linemap_offset_exactly_at_line_start() {
+        let t = "a\nb\nc";
+        let map = LineMap::new(t);
+        assert_eq!(map.line_col(t, 2), LineCol::new(2, 1));
+        assert_eq!(map.line_col(t, 4), LineCol::new(3, 1));
+    }
+}

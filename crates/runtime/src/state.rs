@@ -1,0 +1,295 @@
+//! Lightweight, transactional parser state.
+//!
+//! PEGs are context-free, but real languages have context-sensitive warts —
+//! the canonical example (and the one the Rats! C grammar handles) is C's
+//! `typedef`: whether `T * x;` declares a pointer or multiplies depends on
+//! whether `T` names a type. modpeg exposes a deliberately small state
+//! facility: a stack of string-set *scopes* plus an undo log, so that any
+//! state mutation performed down a failing alternative is rolled back when
+//! the parser backtracks.
+//!
+//! Productions whose expansion touches state are (transitively) unsafe to
+//! memoize; the analysis in `modpeg-core` marks them transient
+//! automatically.
+
+use std::collections::HashSet;
+
+/// A point in the state's history that can be rolled back to.
+///
+/// Marks are cheap (an index into the undo log) and must be used in LIFO
+/// order, which is exactly how a backtracking parser uses them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateMark(usize);
+
+/// One undoable state operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// `name` was inserted into the scope at `depth` (it was not there before).
+    Defined { depth: usize, name: String },
+    /// A scope was pushed.
+    Pushed,
+    /// A scope was popped; its contents are retained for undo.
+    Popped(HashSet<String>),
+}
+
+/// A stack of string-set scopes with transactional rollback.
+///
+/// # Examples
+///
+/// ```
+/// use modpeg_runtime::ScopedState;
+///
+/// let mut st = ScopedState::new();
+/// st.define("size_t");
+/// let mark = st.mark();
+/// st.push_scope();
+/// st.define("local_t");
+/// assert!(st.is_defined("local_t"));
+/// st.rollback(mark); // the failing alternative backtracks
+/// assert!(!st.is_defined("local_t"));
+/// assert!(st.is_defined("size_t"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScopedState {
+    scopes: Vec<HashSet<String>>,
+    log: Vec<Op>,
+    /// Bumped on every visible state change; memoized results from
+    /// state-reading productions are only valid within one epoch.
+    epoch: u32,
+}
+
+impl ScopedState {
+    /// Creates a state with a single (global) scope.
+    pub fn new() -> Self {
+        ScopedState {
+            scopes: vec![HashSet::new()],
+            log: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Records the current history point for a later [`rollback`].
+    ///
+    /// [`rollback`]: ScopedState::rollback
+    pub fn mark(&self) -> StateMark {
+        StateMark(self.log.len())
+    }
+
+    /// Adds `name` to the innermost scope. No-op (and no log entry) if the
+    /// name is already defined in that scope.
+    pub fn define(&mut self, name: &str) {
+        let depth = self.scopes.len() - 1;
+        let scope = self
+            .scopes
+            .last_mut()
+            .expect("state always has a global scope");
+        if scope.insert(name.to_owned()) {
+            self.epoch += 1;
+            self.log.push(Op::Defined {
+                depth,
+                name: name.to_owned(),
+            });
+        }
+    }
+
+    /// Whether `name` is defined in any enclosing scope.
+    pub fn is_defined(&self, name: &str) -> bool {
+        self.scopes.iter().rev().any(|s| s.contains(name))
+    }
+
+    /// Opens a nested scope.
+    pub fn push_scope(&mut self) {
+        self.scopes.push(HashSet::new());
+        self.log.push(Op::Pushed);
+    }
+
+    /// Closes the innermost scope. The global scope cannot be popped.
+    pub fn pop_scope(&mut self) {
+        if self.scopes.len() > 1 {
+            let popped = self.scopes.pop().expect("len > 1 checked");
+            if !popped.is_empty() {
+                self.epoch += 1;
+            }
+            self.log.push(Op::Popped(popped));
+        }
+    }
+
+    /// Current scope depth (1 = only the global scope).
+    pub fn depth(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// Undoes every operation performed since `mark` was taken.
+    ///
+    /// Marks must be rolled back in LIFO order; rolling back an outdated
+    /// mark after an enclosing rollback is a no-op.
+    pub fn rollback(&mut self, mark: StateMark) {
+        if self.log.len() > mark.0 {
+            self.epoch += 1;
+        }
+        while self.log.len() > mark.0 {
+            match self.log.pop().expect("len checked") {
+                Op::Defined { depth, name } => {
+                    if let Some(scope) = self.scopes.get_mut(depth) {
+                        scope.remove(&name);
+                    }
+                }
+                Op::Pushed => {
+                    if self.scopes.len() > 1 {
+                        self.scopes.pop();
+                    }
+                }
+                Op::Popped(contents) => self.scopes.push(contents),
+            }
+        }
+    }
+
+    /// Discards undo history (call once a parse region is committed).
+    pub fn commit(&mut self) {
+        self.log.clear();
+    }
+
+    /// The current state epoch. Any visible change (define, scope pop
+    /// hiding names, rollback) produces a fresh epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+}
+
+impl Default for ScopedState {
+    fn default() -> Self {
+        ScopedState::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_and_lookup() {
+        let mut st = ScopedState::new();
+        assert!(!st.is_defined("T"));
+        st.define("T");
+        assert!(st.is_defined("T"));
+    }
+
+    #[test]
+    fn inner_scopes_shadow_and_pop() {
+        let mut st = ScopedState::new();
+        st.define("outer");
+        st.push_scope();
+        st.define("inner");
+        assert!(st.is_defined("outer"));
+        assert!(st.is_defined("inner"));
+        assert_eq!(st.depth(), 2);
+        st.pop_scope();
+        assert!(!st.is_defined("inner"));
+        assert!(st.is_defined("outer"));
+    }
+
+    #[test]
+    fn global_scope_cannot_be_popped() {
+        let mut st = ScopedState::new();
+        st.pop_scope();
+        st.pop_scope();
+        assert_eq!(st.depth(), 1);
+    }
+
+    #[test]
+    fn rollback_undoes_defines() {
+        let mut st = ScopedState::new();
+        let m = st.mark();
+        st.define("a");
+        st.define("b");
+        st.rollback(m);
+        assert!(!st.is_defined("a"));
+        assert!(!st.is_defined("b"));
+    }
+
+    #[test]
+    fn rollback_undoes_scope_push() {
+        let mut st = ScopedState::new();
+        let m = st.mark();
+        st.push_scope();
+        st.define("x");
+        st.rollback(m);
+        assert_eq!(st.depth(), 1);
+        assert!(!st.is_defined("x"));
+    }
+
+    #[test]
+    fn rollback_restores_popped_scope() {
+        let mut st = ScopedState::new();
+        st.push_scope();
+        st.define("kept");
+        let m = st.mark();
+        st.pop_scope();
+        assert!(!st.is_defined("kept"));
+        st.rollback(m);
+        assert!(st.is_defined("kept"));
+        assert_eq!(st.depth(), 2);
+    }
+
+    #[test]
+    fn redefining_same_name_logs_once() {
+        let mut st = ScopedState::new();
+        let m = st.mark();
+        st.define("t");
+        st.define("t");
+        st.rollback(m);
+        assert!(!st.is_defined("t"));
+    }
+
+    #[test]
+    fn nested_marks_lifo() {
+        let mut st = ScopedState::new();
+        let m1 = st.mark();
+        st.define("a");
+        let m2 = st.mark();
+        st.define("b");
+        st.rollback(m2);
+        assert!(st.is_defined("a"));
+        assert!(!st.is_defined("b"));
+        st.rollback(m1);
+        assert!(!st.is_defined("a"));
+    }
+
+    #[test]
+    fn epoch_changes_on_visible_mutation() {
+        let mut st = ScopedState::new();
+        let e0 = st.epoch();
+        st.push_scope(); // no visibility change
+        let e1 = st.epoch();
+        assert_eq!(e0, e1);
+        st.define("x");
+        assert_ne!(st.epoch(), e1);
+        let e2 = st.epoch();
+        st.pop_scope(); // hides x
+        assert_ne!(st.epoch(), e2);
+        let e3 = st.epoch();
+        let m = st.mark();
+        st.rollback(m); // nothing to undo: no bump
+        assert_eq!(st.epoch(), e3);
+    }
+
+    #[test]
+    fn rollback_with_changes_bumps_epoch() {
+        let mut st = ScopedState::new();
+        let m = st.mark();
+        st.define("a");
+        let before = st.epoch();
+        st.rollback(m);
+        assert_ne!(st.epoch(), before);
+    }
+
+    #[test]
+    fn commit_clears_history() {
+        let mut st = ScopedState::new();
+        let m = st.mark();
+        st.define("a");
+        st.commit();
+        st.rollback(m); // history gone: nothing to undo
+        assert!(st.is_defined("a"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Parse-time accounting used by the performance and heap experiments.
+
+use std::fmt;
+
+/// Counters a parser updates as it runs.
+///
+/// Two families:
+///
+/// * **work counters** — expression evaluations, memo probes/hits, terminal
+///   comparisons — used to explain *why* an optimization helps;
+/// * **allocation counters** — nodes, lists, owned strings, memo entries,
+///   and their estimated bytes — the basis of the heap-utilization figure
+///   (the paper measured JVM heap; we count the same structures directly).
+///
+/// # Examples
+///
+/// ```
+/// use modpeg_runtime::Stats;
+///
+/// let mut stats = Stats::default();
+/// stats.memo_probes += 10;
+/// stats.memo_hits += 4;
+/// assert_eq!(stats.memo_hit_rate(), 0.4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Production applications actually evaluated (memo misses + unmemoized).
+    pub productions_evaluated: u64,
+    /// Memo-table lookups performed.
+    pub memo_probes: u64,
+    /// Memo-table lookups that found a stored answer.
+    pub memo_hits: u64,
+    /// Lookups that found an answer from a stale state epoch (treated as
+    /// misses; the lazy form of Rats!' flush-on-state-change).
+    pub memo_stale: u64,
+    /// Memo entries written.
+    pub memo_stores: u64,
+    /// Estimated bytes held by the memo table at end of parse.
+    pub memo_bytes: u64,
+    /// Syntax-tree nodes constructed.
+    pub nodes_built: u64,
+    /// List values constructed.
+    pub lists_built: u64,
+    /// Owned strings materialized (`text-only` optimization disabled).
+    pub strings_built: u64,
+    /// Estimated bytes of semantic values constructed (including
+    /// intermediate values later discarded by backtracking).
+    pub value_bytes: u64,
+    /// Individual failure records allocated (`errors` optimization disabled).
+    pub failure_records: u64,
+    /// Estimated bytes of failure records.
+    pub failure_bytes: u64,
+    /// Characters/bytes compared while matching terminals.
+    pub terminal_comparisons: u64,
+    /// Backtracking events: an alternative failed after consuming input.
+    pub backtracks: u64,
+}
+
+impl Stats {
+    /// Fraction of memo probes that hit, or 0.0 with no probes.
+    pub fn memo_hit_rate(&self) -> f64 {
+        if self.memo_probes == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / self.memo_probes as f64
+        }
+    }
+
+    /// Total estimated heap bytes attributable to the parse: memo table,
+    /// semantic values, and failure records.
+    pub fn total_bytes(&self) -> u64 {
+        self.memo_bytes + self.value_bytes + self.failure_bytes
+    }
+
+    /// Adds every counter of `other` into `self` (for aggregating runs).
+    pub fn absorb(&mut self, other: &Stats) {
+        self.productions_evaluated += other.productions_evaluated;
+        self.memo_probes += other.memo_probes;
+        self.memo_hits += other.memo_hits;
+        self.memo_stale += other.memo_stale;
+        self.memo_stores += other.memo_stores;
+        self.memo_bytes += other.memo_bytes;
+        self.nodes_built += other.nodes_built;
+        self.lists_built += other.lists_built;
+        self.strings_built += other.strings_built;
+        self.value_bytes += other.value_bytes;
+        self.failure_records += other.failure_records;
+        self.failure_bytes += other.failure_bytes;
+        self.terminal_comparisons += other.terminal_comparisons;
+        self.backtracks += other.backtracks;
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "productions evaluated: {}", self.productions_evaluated)?;
+        writeln!(
+            f,
+            "memo: {} probes, {} hits ({:.1}%), {} stale, {} stores, {} bytes",
+            self.memo_probes,
+            self.memo_hits,
+            self.memo_hit_rate() * 100.0,
+            self.memo_stale,
+            self.memo_stores,
+            self.memo_bytes
+        )?;
+        writeln!(
+            f,
+            "values: {} nodes, {} lists, {} strings, {} bytes",
+            self.nodes_built, self.lists_built, self.strings_built, self.value_bytes
+        )?;
+        writeln!(
+            f,
+            "failures: {} records, {} bytes",
+            self.failure_records, self.failure_bytes
+        )?;
+        write!(
+            f,
+            "work: {} terminal comparisons, {} backtracks",
+            self.terminal_comparisons, self.backtracks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero_probes() {
+        assert_eq!(Stats::default().memo_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn absorb_sums_counters() {
+        let mut a = Stats {
+            memo_probes: 2,
+            nodes_built: 1,
+            ..Stats::default()
+        };
+        let b = Stats {
+            memo_probes: 3,
+            nodes_built: 4,
+            backtracks: 7,
+            ..Stats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.memo_probes, 5);
+        assert_eq!(a.nodes_built, 5);
+        assert_eq!(a.backtracks, 7);
+    }
+
+    #[test]
+    fn total_bytes_sums_three_pools() {
+        let s = Stats {
+            memo_bytes: 10,
+            value_bytes: 20,
+            failure_bytes: 5,
+            ..Stats::default()
+        };
+        assert_eq!(s.total_bytes(), 35);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = Stats::default();
+        assert!(s.to_string().contains("memo"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # modpeg-syntax
+//!
+//! Lexer and parser for the modpeg grammar-module language — the `.mpeg`
+//! files in which grammars are written. The language is the textual form of
+//! [`modpeg_core::ModuleAst`]: module headers with parameters,
+//! `import`/`instantiate`/`modify`/`option` declarations, and productions
+//! over parsing expressions.
+//!
+//! ```text
+//! module java.Statements(Spacing);
+//! import Spacing;
+//!
+//! public Node Statement =
+//!     <If>    "if" Cond Statement ("else" Statement)?
+//!   / <Block> "{" Statement* "}"
+//!   ;
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! let module = modpeg_syntax::parse_module(
+//!     "module tiny; public Greeting = \"hi\" $[a-z]+ ;",
+//! )?;
+//! assert_eq!(module.name, "tiny");
+//! assert_eq!(module.productions.len(), 1);
+//! # Ok::<(), modpeg_core::Diagnostics>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod format;
+mod lexer;
+mod parser;
+
+pub use format::{format_module, format_modules};
+pub use lexer::{lex, Tok, Token};
+pub use parser::{parse_module, parse_module_set, parse_modules};

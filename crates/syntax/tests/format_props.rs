@@ -1,0 +1,154 @@
+//! Property test: the formatter is a fixpoint and preserves structure on
+//! *randomized* modules, not just the shipped library.
+
+use modpeg_core::{AltAst, AnchorPos, Attrs, ClauseOp, Decl, Expr, ModuleAst, ProdClause, ProdKind, SrcSpan};
+use proptest::prelude::*;
+
+type E = Expr<String>;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Z][a-zA-Z0-9]{0,5}"
+}
+
+fn expr(depth: u32) -> BoxedStrategy<E> {
+    let leaf = prop_oneof![
+        ident().prop_map(E::Ref),
+        proptest::sample::select(vec!["a", "xy", "+", "\"", "\\", "\n"]).prop_map(E::literal),
+        Just(E::Any),
+        Just(E::Class(modpeg_core::CharClass::from_ranges(
+            vec![('a', 'z'), ('-', '-')],
+            false
+        ))),
+        Just(E::Class(modpeg_core::CharClass::from_ranges(
+            vec![('\n', '\n')],
+            true
+        ))),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = expr(depth - 1);
+    prop_oneof![
+        3 => leaf,
+        1 => proptest::collection::vec(expr(depth - 1), 1..3).prop_map(E::seq),
+        1 => proptest::collection::vec(expr(depth - 1), 2..4).prop_map(E::choice),
+        1 => inner.clone().prop_map(|e| E::Opt(Box::new(e))),
+        1 => inner.clone().prop_map(|e| E::Star(Box::new(e))),
+        1 => inner.clone().prop_map(|e| E::Not(Box::new(e))),
+        1 => inner.clone().prop_map(|e| E::Capture(Box::new(e))),
+        1 => inner.clone().prop_map(|e| E::Void(Box::new(e))),
+        1 => inner.prop_map(|e| E::StateIsDef(Box::new(e))),
+    ]
+    .boxed()
+}
+
+fn clause() -> impl Strategy<Value = ProdClause> {
+    (
+        ident(),
+        proptest::sample::select(vec![
+            ClauseOp::Define,
+            ClauseOp::Override,
+            ClauseOp::Append,
+            ClauseOp::Remove,
+        ]),
+        proptest::collection::vec((proptest::option::of(ident()), expr(2)), 1..3),
+        proptest::collection::vec(ident(), 1..3),
+        proptest::option::of((
+            proptest::sample::select(vec![AnchorPos::Before, AnchorPos::After]),
+            ident(),
+        )),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(name, op, alts, removed, anchor, transient, splice)| {
+            let mut seen = std::collections::HashSet::new();
+            let mut alts: Vec<AltAst> = alts
+                .into_iter()
+                .map(|(label, expr)| AltAst::Alt {
+                    // Deduplicate labels (parser requires uniqueness only at
+                    // elaboration, but keep modules sane).
+                    label: label.filter(|l| seen.insert(l.clone())),
+                    expr,
+                })
+                .collect();
+            if splice && matches!(op, ClauseOp::Override | ClauseOp::Append) && anchor.is_none()
+            {
+                alts.push(AltAst::Splice);
+            }
+            ProdClause {
+                attrs: Attrs {
+                    transient,
+                    ..Attrs::default()
+                },
+                kind: if op == ClauseOp::Define {
+                    Some(ProdKind::Node)
+                } else {
+                    None
+                },
+                name,
+                op,
+                alts: if op == ClauseOp::Remove { vec![] } else { alts },
+                removed: if op == ClauseOp::Remove { removed } else { vec![] },
+                anchor: if op == ClauseOp::Append { anchor } else { None },
+                span: SrcSpan::none(),
+            }
+        })
+}
+
+fn module() -> impl Strategy<Value = ModuleAst> {
+    (
+        "[a-z][a-z0-9]{0,5}(\\.[a-z][a-z0-9]{0,4}){0,2}",
+        proptest::collection::vec(ident(), 0..3),
+        any::<bool>(),
+        proptest::collection::vec(clause(), 0..4),
+    )
+        .prop_map(|(name, params, is_mod, mut clauses)| {
+            let mut m = ModuleAst::new(name);
+            m.params = params;
+            if is_mod {
+                m.decls.push(Decl::Modify {
+                    target: "base".into(),
+                    span: SrcSpan::none(),
+                });
+            } else {
+                // Non-modification modules may only define.
+                for c in &mut clauses {
+                    c.op = ClauseOp::Define;
+                    c.kind = Some(ProdKind::Node);
+                    c.removed.clear();
+                    c.anchor = None;
+                    c.alts.retain(|a| !matches!(a, AltAst::Splice));
+                    if c.alts.is_empty() {
+                        c.alts.push(AltAst::Alt {
+                            label: None,
+                            expr: E::literal("x"),
+                        });
+                    }
+                }
+            }
+            m.decls.push(Decl::Import {
+                module: "other".into(),
+                span: SrcSpan::none(),
+            });
+            m.productions = clauses;
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn format_parse_format_is_a_fixpoint(m in module()) {
+        let once = modpeg_syntax::format_module(&m);
+        let reparsed = modpeg_syntax::parse_modules(&once)
+            .unwrap_or_else(|e| panic!("formatted module does not reparse: {e}\n{once}"));
+        prop_assert_eq!(reparsed.len(), 1);
+        let twice = modpeg_syntax::format_module(&reparsed[0]);
+        prop_assert_eq!(&once, &twice, "not a fixpoint:\n{}", once);
+        // Structure is preserved (spans aside, which format discards).
+        prop_assert_eq!(reparsed[0].productions.len(), m.productions.len());
+        prop_assert_eq!(&reparsed[0].name, &m.name);
+        prop_assert_eq!(&reparsed[0].params, &m.params);
+    }
+}

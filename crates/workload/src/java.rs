@@ -1,0 +1,233 @@
+//! Java-subset program generator.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::{ident, rng_for, IDENTS};
+
+struct JavaGen {
+    rng: StdRng,
+    out: String,
+    /// Emit foreach/assert/try constructs (extended grammar only).
+    extended: bool,
+    class_idx: u32,
+}
+
+impl JavaGen {
+    fn expr(&mut self, depth: u32) -> String {
+        let mut e = self.operand(depth);
+        for _ in 0..self.rng.gen_range(0..3) {
+            let op = [" + ", " - ", " * ", " / ", " % "][self.rng.gen_range(0..5)];
+            let rhs = self.operand(depth);
+            e.push_str(op);
+            e.push_str(&rhs);
+        }
+        if depth > 0 && self.rng.gen_ratio(1, 6) {
+            let cmp = [" < ", " > ", " <= ", " >= ", " == ", " != "][self.rng.gen_range(0..6)];
+            let rhs = self.operand(depth - 1);
+            e.push_str(cmp);
+            e.push_str(&rhs);
+        }
+        e
+    }
+
+    fn condition(&mut self, depth: u32) -> String {
+        let lhs = self.operand(depth);
+        let cmp = [" < ", " > ", " <= ", " >= ", " == ", " != "][self.rng.gen_range(0..6)];
+        let rhs = self.operand(depth);
+        let mut c = format!("{lhs}{cmp}{rhs}");
+        if depth > 0 && self.rng.gen_ratio(1, 5) {
+            let join = [" && ", " || "][self.rng.gen_range(0..2)];
+            let more = self.condition(depth - 1);
+            c = format!("{c}{join}{more}");
+        }
+        if depth > 0 && self.rng.gen_ratio(1, 8) {
+            c = format!("!({c})");
+        }
+        c
+    }
+
+    fn operand(&mut self, depth: u32) -> String {
+        match self.rng.gen_range(0..14) {
+            0..=3 => self.rng.gen_range(0u32..1000).to_string(),
+            4..=6 => ident(&mut self.rng, IDENTS),
+            7 if depth > 0 => format!("({})", self.expr(depth - 1)),
+            8 if depth > 0 => {
+                let f = ident(&mut self.rng, IDENTS);
+                let a = self.operand(depth - 1);
+                let b = self.operand(depth - 1);
+                format!("{f}({a}, {b})")
+            }
+            9 if depth > 0 => {
+                let a = ident(&mut self.rng, IDENTS);
+                let i = self.operand(depth - 1);
+                format!("{a}[{i}]")
+            }
+            10 if depth > 0 => {
+                // Method call / field access chains (Postfix.Call/Field).
+                let recv = ident(&mut self.rng, IDENTS);
+                let m = ident(&mut self.rng, IDENTS);
+                if self.rng.gen_ratio(1, 2) {
+                    let a = self.operand(depth - 1);
+                    format!("{recv}.{m}({a}, 0)")
+                } else {
+                    format!("{recv}.{m}")
+                }
+            }
+            11 if depth > 0 => format!("-{}", self.operand(depth - 1)),
+            12 => format!("'{}'", (b'a' + self.rng.gen_range(0u8..26)) as char),
+            _ => ident(&mut self.rng, IDENTS),
+        }
+    }
+
+    fn statement(&mut self, indent: usize, depth: u32) {
+        let pad = "    ".repeat(indent);
+        let choice = self.rng.gen_range(0..100);
+        match choice {
+            0..=24 => {
+                let v = ident(&mut self.rng, IDENTS);
+                let e = self.expr(2);
+                let _ = writeln!(self.out, "{pad}{v} = {e};");
+            }
+            25..=39 => {
+                let v = ident(&mut self.rng, IDENTS);
+                let e = self.expr(2);
+                if self.rng.gen_ratio(1, 6) {
+                    let src = ident(&mut self.rng, IDENTS);
+                    let _ = writeln!(self.out, "{pad}int[] {v} = {src};");
+                } else {
+                    let _ = writeln!(self.out, "{pad}int {v} = {e};");
+                }
+            }
+            40..=54 if depth > 0 => {
+                let c = self.condition(1);
+                let _ = writeln!(self.out, "{pad}if ({c}) {{");
+                self.block(indent + 1, depth - 1);
+                if self.rng.gen_ratio(1, 2) {
+                    let _ = writeln!(self.out, "{pad}}} else {{");
+                    self.block(indent + 1, depth - 1);
+                }
+                let _ = writeln!(self.out, "{pad}}}");
+            }
+            55..=64 if depth > 0 => {
+                let c = self.condition(1);
+                let _ = writeln!(self.out, "{pad}while ({c}) {{");
+                self.block(indent + 1, depth - 1);
+                let _ = writeln!(self.out, "{pad}}}");
+            }
+            65..=74 if depth > 0 => {
+                let v = ident(&mut self.rng, IDENTS);
+                let n = self.rng.gen_range(1u32..100);
+                if self.extended && self.rng.gen_ratio(1, 3) {
+                    let xs = ident(&mut self.rng, IDENTS);
+                    let _ = writeln!(self.out, "{pad}for (int {v} : {xs}) {{");
+                } else {
+                    let _ = writeln!(
+                        self.out,
+                        "{pad}for (int {v} = 0; {v} < {n}; {v} = {v} + 1) {{"
+                    );
+                }
+                self.block(indent + 1, depth - 1);
+                let _ = writeln!(self.out, "{pad}}}");
+            }
+            75..=79 if depth > 0 => {
+                let _ = writeln!(self.out, "{pad}do {{");
+                self.block(indent + 1, depth - 1);
+                let c = self.condition(0);
+                let _ = writeln!(self.out, "{pad}}} while ({c});");
+            }
+            80..=84 if self.extended => {
+                let c = self.condition(1);
+                let m = self.rng.gen_range(0u32..100);
+                let _ = writeln!(self.out, "{pad}assert {c} : {m};");
+            }
+            85..=89 if self.extended && depth > 0 => {
+                let _ = writeln!(self.out, "{pad}try {{");
+                self.block(indent + 1, depth - 1);
+                let e = ident(&mut self.rng, IDENTS);
+                let _ = writeln!(self.out, "{pad}}} catch (Error {e}) {{");
+                self.block(indent + 1, 0);
+                let _ = writeln!(self.out, "{pad}}}");
+            }
+            _ => {
+                let f = ident(&mut self.rng, IDENTS);
+                let a = self.expr(1);
+                let _ = writeln!(self.out, "{pad}{f}({a}, \"msg\");");
+            }
+        }
+    }
+
+    fn block(&mut self, indent: usize, depth: u32) {
+        for _ in 0..self.rng.gen_range(1..4) {
+            self.statement(indent, depth);
+        }
+    }
+
+    fn method(&mut self, indent: usize) {
+        let pad = "    ".repeat(indent);
+        let name = ident(&mut self.rng, IDENTS);
+        let ret = ["int", "void", "boolean"][self.rng.gen_range(0..3)];
+        let p1 = ident(&mut self.rng, IDENTS);
+        let p2 = ident(&mut self.rng, IDENTS);
+        let _ = writeln!(self.out, "{pad}{ret} {name}(int {p1}, int {p2}) {{");
+        for _ in 0..self.rng.gen_range(2..6) {
+            self.statement(indent + 1, 2);
+        }
+        if ret == "int" {
+            let e = self.expr(1);
+            let _ = writeln!(self.out, "{}return {e};", "    ".repeat(indent + 1));
+        } else if ret == "boolean" {
+            let _ = writeln!(self.out, "{}return true;", "    ".repeat(indent + 1));
+        } else {
+            let _ = writeln!(self.out, "{}return;", "    ".repeat(indent + 1));
+        }
+        let _ = writeln!(self.out, "{pad}}}");
+    }
+
+    fn class(&mut self) {
+        self.class_idx += 1;
+        let _ = writeln!(self.out, "class Gen{} {{", self.class_idx);
+        for _ in 0..self.rng.gen_range(1..4) {
+            let f = ident(&mut self.rng, IDENTS);
+            if self.rng.gen_ratio(1, 2) {
+                let v = self.rng.gen_range(0u32..100);
+                let _ = writeln!(self.out, "    int {f} = {v};");
+            } else {
+                let _ = writeln!(self.out, "    int {f};");
+            }
+        }
+        for _ in 0..self.rng.gen_range(1..4) {
+            self.method(1);
+        }
+        let _ = writeln!(self.out, "}}");
+        let _ = writeln!(self.out);
+    }
+}
+
+fn generate(seed: u64, target_bytes: usize, extended: bool) -> String {
+    let mut g = JavaGen {
+        rng: rng_for(seed, if extended { 2 } else { 1 }),
+        out: String::with_capacity(target_bytes + 512),
+        extended,
+        class_idx: 0,
+    };
+    g.out.push_str("// synthetic workload\n");
+    while g.out.len() < target_bytes {
+        g.class();
+    }
+    g.out
+}
+
+/// Generates a well-formed program in the base Java subset, at least
+/// `target_bytes` long, deterministically from `seed`.
+pub fn java_program(seed: u64, target_bytes: usize) -> String {
+    generate(seed, target_bytes, false)
+}
+
+/// Like [`java_program`], additionally using the foreach/assert/try
+/// constructs of the extended grammar.
+pub fn java_extended_program(seed: u64, target_bytes: usize) -> String {
+    generate(seed, target_bytes, true)
+}

@@ -1,0 +1,89 @@
+//! JSON document generator.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::rng_for;
+
+const WORDS: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "name", "kind", "tags", "items",
+    "config", "meta", "level", "score",
+];
+
+fn value(rng: &mut StdRng, out: &mut String, depth: u32) {
+    match rng.gen_range(0..10) {
+        0..=2 if depth > 0 => object(rng, out, depth - 1),
+        3..=4 if depth > 0 => array(rng, out, depth - 1),
+        5..=6 => {
+            let _ = write!(out, "\"{}\"", WORDS[rng.gen_range(0..WORDS.len())]);
+        }
+        7 => {
+            let _ = write!(
+                out,
+                "{}{}.{}e{}",
+                if rng.gen_ratio(1, 4) { "-" } else { "" },
+                rng.gen_range(0u32..1000),
+                rng.gen_range(0u32..100),
+                rng.gen_range(0i32..5)
+            );
+        }
+        8 => out.push_str(if rng.gen_ratio(1, 2) { "true" } else { "false" }),
+        _ => {
+            if rng.gen_ratio(1, 5) {
+                out.push_str("null");
+            } else {
+                let _ = write!(out, "{}", rng.gen_range(0u32..100000));
+            }
+        }
+    }
+}
+
+fn object(rng: &mut StdRng, out: &mut String, depth: u32) {
+    out.push('{');
+    let n = rng.gen_range(1..6);
+    for i in 0..n {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "\"{}{}\": ",
+            WORDS[rng.gen_range(0..WORDS.len())],
+            rng.gen_range(0u32..100)
+        );
+        value(rng, out, depth);
+    }
+    out.push('}');
+}
+
+fn array(rng: &mut StdRng, out: &mut String, depth: u32) {
+    out.push('[');
+    let n = rng.gen_range(1..6);
+    for i in 0..n {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        value(rng, out, depth);
+    }
+    out.push(']');
+}
+
+/// Generates a JSON document (an array of objects), at least
+/// `target_bytes` long, deterministically from `seed`.
+pub fn json_document(seed: u64, target_bytes: usize) -> String {
+    let mut rng = rng_for(seed, 4);
+    let mut out = String::with_capacity(target_bytes + 256);
+    out.push('[');
+    let mut first = true;
+    while out.len() < target_bytes {
+        if !first {
+            out.push_str(",\n ");
+        }
+        first = false;
+        object(&mut rng, &mut out, 3);
+    }
+    out.push(']');
+    out
+}

@@ -1,0 +1,149 @@
+//! # modpeg-workload
+//!
+//! Seeded synthetic source generators for the benchmark harness.
+//!
+//! The paper evaluates its parsers on corpora of real C and Java files; in
+//! this reproduction the corpora are synthesized (documented substitution
+//! in `DESIGN.md`): generators emit well-formed programs in exactly the
+//! constructs the `modpeg-grammars` subsets support, with a realistic mix
+//! of declarations, control flow, and expression shapes, controllable by
+//! `seed` and a target size. Identical seeds yield identical programs, so
+//! every experiment is reproducible.
+
+#![warn(missing_docs)]
+
+mod c;
+mod java;
+mod json;
+
+pub use c::c_program;
+pub use java::{java_extended_program, java_program};
+pub use json::json_document;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic arithmetic expression for the calculator grammar,
+/// roughly `target_bytes` long.
+pub fn calc_expression(seed: u64, target_bytes: usize) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xCA1C);
+    let mut out = String::with_capacity(target_bytes + 16);
+    fn atom(rng: &mut StdRng, out: &mut String, depth: u32) {
+        if depth > 0 && rng.gen_ratio(1, 4) {
+            out.push('(');
+            expr(rng, out, depth - 1);
+            out.push(')');
+        } else {
+            out.push_str(&rng.gen_range(0u32..1000).to_string());
+        }
+    }
+    fn expr(rng: &mut StdRng, out: &mut String, depth: u32) {
+        atom(rng, out, depth);
+        for _ in 0..rng.gen_range(1..4) {
+            out.push_str([" + ", " - ", " * ", " / "][rng.gen_range(0..4)]);
+            atom(rng, out, depth);
+        }
+    }
+    while out.len() < target_bytes {
+        if !out.is_empty() {
+            out.push_str(" + ");
+        }
+        expr(&mut rng, &mut out, 3);
+    }
+    out
+}
+
+/// The exponential-backtracking stress input: `a…a` (`n` copies) against
+/// the grammar `S ← "a" S "b" / "a" S "c" / "a"`. Both recursive
+/// alternatives re-parse the same suffix, so a parser without memoization
+/// does `Θ(2ⁿ)` work before rejecting, while a packrat parser rejects in
+/// linear time. Pair with [`PATHOLOGICAL_GRAMMAR`].
+pub fn pathological_input(n: usize) -> String {
+    "a".repeat(n)
+}
+
+/// Grammar-module source for the backtracking stress test (see
+/// [`pathological_input`]).
+pub const PATHOLOGICAL_GRAMMAR: &str = "\
+module pathological;
+void S = \"a\" S \"b\" / \"a\" S \"c\" / \"a\" ;
+public void P = S !. ;
+";
+
+/// Identifier pool shared by the program generators.
+pub(crate) fn ident(rng: &mut StdRng, pool: &[&str]) -> String {
+    let base = pool[rng.gen_range(0..pool.len())];
+    if rng.gen_ratio(1, 3) {
+        format!("{base}{}", rng.gen_range(0u32..100))
+    } else {
+        base.to_owned()
+    }
+}
+
+pub(crate) const IDENTS: &[&str] = &[
+    "value", "count", "index", "total", "size", "item", "result", "buffer", "offset", "limit",
+    "state", "flag", "node", "left", "right", "sum", "tmp", "data", "acc", "pos",
+];
+
+pub(crate) fn rng_for(seed: u64, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(salt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calc_expression_is_deterministic_and_sized() {
+        let a = calc_expression(7, 500);
+        let b = calc_expression(7, 500);
+        assert_eq!(a, b);
+        assert!(a.len() >= 500);
+        assert!(a.len() < 1000);
+        let c = calc_expression(8, 500);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn java_program_deterministic_and_scales() {
+        let small = java_program(1, 1_000);
+        let big = java_program(1, 10_000);
+        assert_eq!(small, java_program(1, 1_000));
+        assert!(small.len() >= 1_000);
+        assert!(big.len() > small.len());
+        assert!(small.contains("class "));
+        assert!(small.contains("return"));
+    }
+
+    #[test]
+    fn extended_program_contains_new_constructs() {
+        let p = java_extended_program(3, 4_000);
+        assert!(p.contains("assert "), "{p}");
+        assert!(p.contains(" : "), "{p}");
+        assert!(p.contains("try {"), "{p}");
+        assert!(p.contains("for ("), "{p}");
+    }
+
+    #[test]
+    fn c_program_contains_typedef_uses() {
+        let p = c_program(5, 4_000);
+        assert!(p.contains("typedef "), "{p}");
+        assert!(p.contains("while"), "{p}");
+        // A typedef'd name is used as a type somewhere.
+        assert!(p.contains("t0 "), "{p}");
+    }
+
+    #[test]
+    fn json_document_sized() {
+        let d = json_document(2, 2_000);
+        assert_eq!(d, json_document(2, 2_000));
+        assert!(d.len() >= 2_000);
+        assert!(d.starts_with('{') || d.starts_with('['));
+    }
+
+    #[test]
+    fn pathological_input_shape() {
+        assert_eq!(pathological_input(4), "aaaa");
+        assert!(PATHOLOGICAL_GRAMMAR.contains("module pathological"));
+    }
+}

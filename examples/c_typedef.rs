@@ -1,0 +1,46 @@
+//! Context-sensitive parsing with parser state: C's `typedef` ambiguity.
+//!
+//! `x * y;` is a multiplication — unless `x` was `typedef`ed, in which
+//! case it declares `y` as a pointer. The C-subset grammar resolves this
+//! the way the Rats! C grammar does: `typedef` declarations `%define` the
+//! name in scoped parser state and `TypedefName` only matches `%isdef`ed
+//! identifiers. This example parses the same statement text in both
+//! contexts and prints the two different trees.
+//!
+//! ```sh
+//! cargo run --example c_typedef
+//! ```
+
+fn show(label: &str, src: &str) {
+    println!("--- {label} ---");
+    println!("{src}");
+    match modpeg::grammars::generated::c::parse(src) {
+        Ok(tree) => {
+            let s = tree.to_sexpr();
+            let verdict = if s.contains("Declaration.Vars") && s.contains("Declarator.Ptr") {
+                "`value * result;` parsed as a POINTER DECLARATION"
+            } else if s.contains("MulExpr.Mul") {
+                "`value * result;` parsed as a MULTIPLICATION"
+            } else {
+                "see tree"
+            };
+            println!("=> {verdict}\n");
+        }
+        Err(e) => println!("=> parse error: {e}\n"),
+    }
+}
+
+fn main() {
+    show(
+        "without typedef",
+        "int main() {\n    int value = 2;\n    int result = 3;\n    value * result;\n    return 0;\n}\n",
+    );
+    show(
+        "with typedef",
+        "typedef int value;\nint main() {\n    value * result;\n    return 0;\n}\n",
+    );
+    show(
+        "local typedef does not leak",
+        "int main() {\n    { typedef int local_t; local_t x = 1; }\n    local_t y = 2;\n    return 0;\n}\n",
+    );
+}

@@ -1,0 +1,76 @@
+//! Multiple languages in one file: SQL SELECT queries as Java expressions.
+//!
+//! The host (Java subset) and guest (SQL) grammars are independent module
+//! sets; the composition is one ~10-line modification module that splices
+//! `sql.Select` into `java.Expr.Primary` between `#[ … ]#` delimiters.
+//! Because PEGs are scannerless, no lexer coordination is needed — inside
+//! the brackets SQL's own lexical syntax applies.
+//!
+//! ```sh
+//! cargo run --example embed_sql
+//! ```
+
+use modpeg::runtime::Value;
+
+const PROGRAM: &str = r#"
+class ReportJob {
+    int threshold;
+
+    int run(int db) {
+        int adults = #[ select name, age from users
+                        where age >= 18 and not city = 'unknown'
+                        order by age desc ]# ;
+        int totals = #[ select * from stats ]# ;
+        return adults + totals;
+    }
+}
+"#;
+
+/// Collects the SQL subtrees out of the host syntax tree.
+fn find_queries<'v>(value: &'v Value, out: &mut Vec<&'v Value>) {
+    match value {
+        Value::Node(node) => {
+            if node.kind().as_str() == "Primary.Sql" {
+                out.push(node.child(0).expect("sql node wraps a select"));
+                return;
+            }
+            for c in node.children() {
+                find_queries(c, out);
+            }
+        }
+        Value::List(items) => {
+            for v in items.iter() {
+                find_queries(v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("--- mixed-language source ---{PROGRAM}-----------------------------\n");
+
+    match modpeg::grammars::generated::java::parse(PROGRAM) {
+        Err(e) => println!("plain Java grammar : {e}"),
+        Ok(_) => println!("plain Java grammar : accepted (unexpected!)"),
+    }
+
+    let tree = modpeg::grammars::generated::java_sql::parse(PROGRAM)?;
+    println!("Java+SQL grammar   : parsed OK\n");
+
+    let mut queries = Vec::new();
+    find_queries(tree.root(), &mut queries);
+    println!("embedded SQL queries found: {}", queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        println!("  #{}: {}", i + 1, q.to_sexpr(tree.input()));
+    }
+
+    println!(
+        "\nThe embedding module (grammars/java_sql.mpeg) is {} non-comment lines.",
+        modpeg::grammars::module_stats(modpeg::grammars::sources::JAVA_SQL)?
+            .iter()
+            .map(|m| m.lines)
+            .sum::<usize>()
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: compile a grammar, parse input, walk the syntax tree.
+//!
+//! ```sh
+//! cargo run --example quickstart -- "1 + 2 * (3 - 4)"
+//! ```
+
+use modpeg::prelude::*;
+use modpeg::runtime::Node;
+
+/// Evaluates the calculator's syntax tree.
+fn eval(value: &Value, input: &str) -> f64 {
+    match value {
+        Value::Node(node) => eval_node(node, input),
+        v => v
+            .as_text(input)
+            .and_then(|t| t.parse().ok())
+            .unwrap_or(f64::NAN),
+    }
+}
+
+fn eval_node(node: &Node, input: &str) -> f64 {
+    let kid = |i: usize| eval(node.child(i).expect("calc nodes are well-formed"), input);
+    match node.kind().as_str() {
+        "Program.P" => kid(0),
+        "Expr.Add" => kid(0) + kid(1),
+        "Expr.Sub" => kid(0) - kid(1),
+        "Term.Mul" => kid(0) * kid(1),
+        "Term.Div" => kid(0) / kid(1),
+        "Atom.Paren" => kid(0),
+        "Atom.Neg" => -kid(0),
+        other => panic!("unexpected node kind {other}"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let input = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "1 + 2 * (3 - 4) / 2".to_owned());
+
+    // The calculator grammar ships with the library; compiling it applies
+    // the full optimization battery and yields a packrat parser.
+    let parser = modpeg::compile([modpeg::grammars::sources::CALC], "calc", Some("Program"))?;
+
+    match parser.parse(&input) {
+        Ok(tree) => {
+            println!("input : {input}");
+            println!("tree  : {}", tree.to_sexpr());
+            println!("value : {}", eval(tree.root(), tree.input()));
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,171 @@
+//! Property-based tests over the whole pipeline.
+//!
+//! The central invariant of the reproduction: **every optimization is
+//! semantics-preserving** — any two optimization configurations accept the
+//! same inputs and build structurally identical syntax trees. Plus: no
+//! panics on arbitrary input, baseline/packrat agreement, and memoization
+//! accounting invariants.
+
+use modpeg::prelude::*;
+use proptest::prelude::*;
+
+fn calc_parser(cfg: OptConfig) -> CompiledGrammar {
+    let g = modpeg::grammars::calc_grammar().expect("elaborates");
+    CompiledGrammar::compile(&g, cfg).expect("compiles")
+}
+
+fn json_parser(cfg: OptConfig) -> CompiledGrammar {
+    let g = modpeg::grammars::json_grammar().expect("elaborates");
+    CompiledGrammar::compile(&g, cfg).expect("compiles")
+}
+
+/// Strategy: syntactically valid calculator expressions.
+fn calc_expr() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        "[0-9]{1,4}",
+        "[0-9]{1,3}\\.[0-9]{1,3}",
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (
+                inner.clone(),
+                proptest::sample::select(vec!["+", "-", "*", "/"]),
+                inner.clone()
+            )
+                .prop_map(|(a, op, b)| format!("{a} {op} {b}")),
+            inner.clone().prop_map(|e| format!("({e})")),
+            inner.prop_map(|e| format!("-{e}")),
+        ]
+    })
+}
+
+/// Strategy: syntactically valid JSON documents.
+fn json_value() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("true".to_owned()),
+        Just("false".to_owned()),
+        Just("null".to_owned()),
+        "-?[0-9]{1,5}",
+        "\"[a-z]{0,8}\"",
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4)
+                .prop_map(|vs| format!("[{}]", vs.join(", "))),
+            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(|ms| {
+                let body: Vec<String> =
+                    ms.into_iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+                format!("{{{}}}", body.join(", "))
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn calc_all_configs_agree(input in calc_expr()) {
+        let reference = calc_parser(OptConfig::none());
+        let expected = reference.parse(&input).map(|t| t.to_sexpr());
+        for level in [3usize, 6, 9, 11, 13, 16] {
+            let parser = calc_parser(OptConfig::cumulative(level));
+            let got = parser.parse(&input).map(|t| t.to_sexpr());
+            match (&expected, &got) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "level {} diverged", level),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "level {} accept/reject diverged on {:?}", level, input),
+            }
+        }
+    }
+
+    #[test]
+    fn json_all_configs_and_generated_agree(input in json_value()) {
+        let reference = json_parser(OptConfig::none());
+        let expected = reference.parse(&input).map(|t| t.to_sexpr());
+        let generated = modpeg::grammars::generated::json::parse(&input).map(|t| t.to_sexpr());
+        match (&expected, &generated) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "generated diverged"),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "generated accept/reject diverged on {:?}", input),
+        }
+        let full = json_parser(OptConfig::all());
+        let got = full.parse(&input).map(|t| t.to_sexpr());
+        prop_assert_eq!(expected.is_ok(), got.is_ok());
+        if let (Ok(a), Ok(b)) = (expected, got) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn arbitrary_input_never_panics(input in "\\PC{0,120}") {
+        // Rejection is fine; panics or hangs are not.
+        let _ = modpeg::grammars::generated::json::parse(&input);
+        let _ = modpeg::grammars::generated::calc::parse(&input);
+        let _ = modpeg::grammars::generated::java::parse(&input);
+        let _ = modpeg::grammars::generated::c::parse(&input);
+    }
+
+    #[test]
+    fn arbitrary_grammar_text_never_panics(src in "\\PC{0,200}") {
+        // The .mpeg parser must fail gracefully on garbage.
+        let _ = modpeg::syntax::parse_modules(&src);
+    }
+
+    #[test]
+    fn mutated_json_agrees_between_configs(input in json_value(), flip in 0usize..64, byte in 0u8..128) {
+        // Mutate one byte; validity may change, but all parsers must agree.
+        let mut bytes = input.into_bytes();
+        if !bytes.is_empty() {
+            let i = flip % bytes.len();
+            bytes[i] = byte;
+        }
+        if let Ok(mutated) = String::from_utf8(bytes) {
+            let a = json_parser(OptConfig::none()).parse(&mutated).is_ok();
+            let b = json_parser(OptConfig::all()).parse(&mutated).is_ok();
+            let c = modpeg::grammars::generated::json::parse(&mutated).is_ok();
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(a, c);
+        }
+    }
+
+    #[test]
+    fn backtrack_baseline_agrees_on_acceptance(input in calc_expr()) {
+        let g = modpeg::grammars::calc_grammar().unwrap();
+        let naive = modpeg_baseline::BacktrackParser::new(&g);
+        let packrat = calc_parser(OptConfig::all());
+        prop_assert_eq!(naive.recognize(&input).is_ok(), packrat.parse(&input).is_ok());
+    }
+
+    #[test]
+    fn memo_accounting_is_consistent(input in calc_expr()) {
+        let parser = calc_parser(OptConfig::all());
+        let (result, stats) = parser.parse_with_stats(&input);
+        prop_assert!(result.is_ok());
+        prop_assert!(stats.memo_hits <= stats.memo_probes);
+        // Under full optimization nothing records individual failures.
+        prop_assert_eq!(stats.failure_records, 0);
+        prop_assert_eq!(stats.strings_built, 0, "text-only mode allocates no strings");
+    }
+
+    #[test]
+    fn error_offsets_are_in_bounds(input in "\\PC{0,80}") {
+        if let Err(e) = modpeg::grammars::generated::json::parse(&input) {
+            prop_assert!(e.offset() as usize <= input.len());
+        }
+    }
+}
+
+#[test]
+fn trees_are_same_shape_across_text_representations() {
+    // text-only off produces OwnedText; trees must still be same-shape.
+    let g = modpeg::grammars::calc_grammar().unwrap();
+    let spans = CompiledGrammar::compile(&g, OptConfig::all()).unwrap();
+    let mut cfg = OptConfig::all();
+    cfg.set("text-only", false);
+    let owned = CompiledGrammar::compile(&g, cfg).unwrap();
+    let input = "1 + 2 * (3 - 4)";
+    let a = spans.parse(input).unwrap();
+    let b = owned.parse(input).unwrap();
+    assert!(a.root().same_shape(b.root(), input));
+}
