@@ -1,38 +1,43 @@
-//! Criterion micro-benchmarks backing E4: the parser comparison on a
-//! small fixed Java input.
+//! Micro-benchmarks backing E4: the parser comparison on a small fixed
+//! Java input. Plain `std::time` harness (`harness = false`), so no
+//! external benchmarking dependency is needed.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use modpeg_baseline::BacktrackParser;
+use modpeg_bench::{median_time, ms, print_table};
 use modpeg_interp::{CompiledGrammar, OptConfig};
 
-fn bench_comparison(c: &mut Criterion) {
+const RUNS: usize = 20;
+
+fn main() {
     let input = modpeg_workload::java_program(2, 4_000);
     let grammar = modpeg_grammars::java_grammar().expect("elaborates");
     let full = CompiledGrammar::compile(&grammar, OptConfig::all()).unwrap();
     let backtrack = BacktrackParser::new(&grammar);
 
-    let mut group = c.benchmark_group("comparison/java");
-    group.bench_function("handwritten", |b| {
-        b.iter(|| modpeg_baseline::handwritten::parse_java(&input).expect("parses"))
-    });
-    group.bench_function("generated", |b| {
-        b.iter(|| modpeg_grammars::generated::java::parse(&input).expect("parses"))
-    });
-    group.bench_function("interp_full", |b| {
-        b.iter(|| full.parse(&input).expect("parses"))
-    });
-    group.bench_function("backtrack", |b| {
-        b.iter(|| backtrack.recognize(&input).expect("parses"))
-    });
-    group.finish();
+    let rows = vec![
+        vec![
+            "handwritten".to_owned(),
+            ms(median_time(RUNS, || {
+                modpeg_baseline::handwritten::parse_java(&input).expect("parses")
+            })),
+        ],
+        vec![
+            "generated".to_owned(),
+            ms(median_time(RUNS, || {
+                modpeg_grammars::generated::java::parse(&input).expect("parses")
+            })),
+        ],
+        vec![
+            "interp_full".to_owned(),
+            ms(median_time(RUNS, || full.parse(&input).expect("parses"))),
+        ],
+        vec![
+            "backtrack".to_owned(),
+            ms(median_time(RUNS, || {
+                backtrack.recognize(&input).expect("parses")
+            })),
+        ],
+    ];
+    println!("comparison/java ({} bytes)", input.len());
+    print_table(&["parser", "median ms"], &rows);
 }
-
-fn configured() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_millis(500))
-}
-
-criterion_group!(name = benches; config = configured(); targets = bench_comparison);
-criterion_main!(benches);

@@ -1,37 +1,47 @@
-//! Criterion benchmarks for the *generator* itself: module parsing,
-//! elaboration, optimization/compilation, and Rust-code emission for the
-//! Java-subset grammar — the toolchain-latency numbers a Rats! user
-//! experiences at build time.
+//! Benchmarks for the *generator* itself: module parsing, elaboration,
+//! optimization/compilation, and Rust-code emission for the Java-subset
+//! grammar — the toolchain-latency numbers a Rats! user experiences at
+//! build time. Plain `std::time` harness (`harness = false`), so no
+//! external benchmarking dependency is needed.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use modpeg_bench::{median_time, ms, print_table};
 use modpeg_interp::{CompiledGrammar, OptConfig};
 
-fn bench_generation(c: &mut Criterion) {
+const RUNS: usize = 20;
+
+fn main() {
     let src = modpeg_grammars::sources::JAVA;
-    let mut group = c.benchmark_group("generation/java");
-    group.bench_function("parse_modules", |b| {
-        b.iter(|| modpeg_syntax::parse_modules(src).expect("parses"))
-    });
-    group.bench_function("elaborate", |b| {
-        let set = modpeg_syntax::parse_module_set([src]).unwrap();
-        b.iter(|| set.elaborate("java.Program", Some("Program")).expect("elaborates"))
-    });
+    let mut rows = Vec::new();
+
+    rows.push(vec![
+        "parse_modules".to_owned(),
+        ms(median_time(RUNS, || {
+            modpeg_syntax::parse_modules(src).expect("parses")
+        })),
+    ]);
+
+    let set = modpeg_syntax::parse_module_set([src]).unwrap();
+    rows.push(vec![
+        "elaborate".to_owned(),
+        ms(median_time(RUNS, || {
+            set.elaborate("java.Program", Some("Program")).expect("elaborates")
+        })),
+    ]);
+
     let grammar = modpeg_grammars::java_grammar().unwrap();
-    group.bench_function("compile_all_opts", |b| {
-        b.iter(|| CompiledGrammar::compile(&grammar, OptConfig::all()).expect("compiles"))
-    });
-    group.bench_function("codegen_emit", |b| {
-        b.iter(|| modpeg_codegen::generate(&grammar, "bench").expect("emits"))
-    });
-    group.finish();
-}
+    rows.push(vec![
+        "compile_all_opts".to_owned(),
+        ms(median_time(RUNS, || {
+            CompiledGrammar::compile(&grammar, OptConfig::all()).expect("compiles")
+        })),
+    ]);
+    rows.push(vec![
+        "codegen_emit".to_owned(),
+        ms(median_time(RUNS, || {
+            modpeg_codegen::generate(&grammar, "bench").expect("emits")
+        })),
+    ]);
 
-fn configured() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_millis(500))
+    println!("generation/java");
+    print_table(&["stage", "median ms"], &rows);
 }
-
-criterion_group!(name = benches; config = configured(); targets = bench_generation);
-criterion_main!(benches);

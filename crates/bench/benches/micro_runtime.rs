@@ -1,67 +1,67 @@
-//! Criterion micro-benchmarks for runtime primitives: memo-table probe/
-//! store strategies and state transactions — the building blocks whose
-//! costs the optimization study aggregates.
+//! Micro-benchmarks for runtime primitives: memo-table probe/store
+//! strategies and state transactions — the building blocks whose costs
+//! the optimization study aggregates. Plain `std::time` harness
+//! (`harness = false`), so no external benchmarking dependency is needed.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use modpeg_bench::{median_time, ms, print_table};
 use modpeg_runtime::{ChunkMemo, HashMemo, MemoAnswer, MemoTable, ScopedState, Value};
 
-fn bench_memo(c: &mut Criterion) {
-    let mut group = c.benchmark_group("memo");
-    group.bench_function("chunk_store_probe", |b| {
-        b.iter(|| {
-            let mut m = ChunkMemo::new(40, 4096);
-            for pos in (0..4096u32).step_by(3) {
-                m.store(pos % 40, pos, MemoAnswer::success(0, pos + 1, Value::Unit));
-            }
-            let mut hits = 0u32;
-            for pos in 0..4096u32 {
-                if m.probe(pos % 40, pos).is_some() {
-                    hits += 1;
-                }
-            }
-            hits
-        })
-    });
-    group.bench_function("hash_store_probe", |b| {
-        b.iter(|| {
-            let mut m = HashMemo::new();
-            for pos in (0..4096u32).step_by(3) {
-                m.store(pos % 40, pos, MemoAnswer::success(0, pos + 1, Value::Unit));
-            }
-            let mut hits = 0u32;
-            for pos in 0..4096u32 {
-                if m.probe(pos % 40, pos).is_some() {
-                    hits += 1;
-                }
-            }
-            hits
-        })
-    });
-    group.finish();
+const RUNS: usize = 20;
+
+fn chunk_store_probe() -> u32 {
+    let mut m = ChunkMemo::new(40, 4096);
+    for pos in (0..4096u32).step_by(3) {
+        m.store(pos % 40, pos, MemoAnswer::success(0, pos + 1, Value::Unit));
+    }
+    let mut hits = 0u32;
+    for pos in 0..4096u32 {
+        if m.probe(pos % 40, pos).is_some() {
+            hits += 1;
+        }
+    }
+    hits
 }
 
-fn bench_state(c: &mut Criterion) {
-    c.bench_function("state/define_rollback", |b| {
-        b.iter(|| {
-            let mut st = ScopedState::new();
-            for i in 0..64 {
-                let mark = st.mark();
-                st.define(&format!("name{i}"));
-                if i % 2 == 0 {
-                    st.rollback(mark);
-                }
-            }
-            st.depth()
-        })
-    });
+fn hash_store_probe() -> u32 {
+    let mut m = HashMemo::new();
+    for pos in (0..4096u32).step_by(3) {
+        m.store(pos % 40, pos, MemoAnswer::success(0, pos + 1, Value::Unit));
+    }
+    let mut hits = 0u32;
+    for pos in 0..4096u32 {
+        if m.probe(pos % 40, pos).is_some() {
+            hits += 1;
+        }
+    }
+    hits
 }
 
-fn configured() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_millis(500))
+fn define_rollback() -> usize {
+    let mut st = ScopedState::new();
+    for i in 0..64 {
+        let mark = st.mark();
+        st.define(&format!("name{i}"));
+        if i % 2 == 0 {
+            st.rollback(mark);
+        }
+    }
+    st.depth()
 }
 
-criterion_group!(name = benches; config = configured(); targets = bench_memo, bench_state);
-criterion_main!(benches);
+fn main() {
+    let rows = vec![
+        vec![
+            "memo/chunk_store_probe".to_owned(),
+            ms(median_time(RUNS, || std::hint::black_box(chunk_store_probe()))),
+        ],
+        vec![
+            "memo/hash_store_probe".to_owned(),
+            ms(median_time(RUNS, || std::hint::black_box(hash_store_probe()))),
+        ],
+        vec![
+            "state/define_rollback".to_owned(),
+            ms(median_time(RUNS, || std::hint::black_box(define_rollback()))),
+        ],
+    ];
+    print_table(&["benchmark", "median ms"], &rows);
+}

@@ -1,40 +1,34 @@
-//! Criterion micro-benchmarks backing E2: parse latency at selected
-//! cumulative optimization levels (0 = naive packrat, 8, 12, 16 = full)
-//! on small fixed Java and C inputs.
+//! Micro-benchmarks backing E2: parse latency at selected cumulative
+//! optimization levels (0 = naive packrat, …, 16 = full) on small fixed
+//! Java and C inputs. Plain `std::time` harness (`harness = false`), so
+//! no external benchmarking dependency is needed.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modpeg_bench::{median_time, ms, print_table};
 use modpeg_interp::{CompiledGrammar, OptConfig};
 
-fn bench_levels(c: &mut Criterion) {
+const RUNS: usize = 20;
+
+fn main() {
     let java = modpeg_grammars::java_grammar().expect("elaborates");
     let input = modpeg_workload::java_program(1, 4_000);
-    let mut group = c.benchmark_group("opt_levels/java");
+    let mut rows = Vec::new();
     for level in [0usize, 6, 10, 13, 16] {
         let compiled = CompiledGrammar::compile(&java, OptConfig::cumulative(level)).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(level), &compiled, |b, p| {
-            b.iter(|| p.parse(&input).expect("parses"))
-        });
+        let t = median_time(RUNS, || compiled.parse(&input).expect("parses"));
+        rows.push(vec![format!("O{level}"), ms(t)]);
     }
-    group.finish();
+    println!("opt_levels/java ({} bytes)", input.len());
+    print_table(&["level", "median ms"], &rows);
+    println!();
 
     let cg = modpeg_grammars::c_grammar().expect("elaborates");
     let cinput = modpeg_workload::c_program(1, 4_000);
-    let mut group = c.benchmark_group("opt_levels/c");
+    let mut rows = Vec::new();
     for level in [0usize, 10, 16] {
         let compiled = CompiledGrammar::compile(&cg, OptConfig::cumulative(level)).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(level), &compiled, |b, p| {
-            b.iter(|| p.parse(&cinput).expect("parses"))
-        });
+        let t = median_time(RUNS, || compiled.parse(&cinput).expect("parses"));
+        rows.push(vec![format!("O{level}"), ms(t)]);
     }
-    group.finish();
+    println!("opt_levels/c ({} bytes)", cinput.len());
+    print_table(&["level", "median ms"], &rows);
 }
-
-fn configured() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_millis(500))
-}
-
-criterion_group!(name = benches; config = configured(); targets = bench_levels);
-criterion_main!(benches);

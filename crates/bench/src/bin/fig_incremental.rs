@@ -1,0 +1,210 @@
+//! E7 — incremental reparse via `ParseSession`.
+//!
+//! Two series:
+//!
+//! 1. **Memo reuse across edits.** A generated Java document (>= 100 KiB)
+//!    goes through a deterministic 10-edit script (digit runs replaced by
+//!    digit runs of a different length, so every intermediate document
+//!    stays valid). After each edit the session reparses incrementally —
+//!    reusing memo columns outside the damaged region — and the result is
+//!    checked byte-for-byte (`to_sexpr`) against a from-scratch parse of
+//!    the same document with the fully optimized configuration. The
+//!    headline number is the median-over-edits speedup of incremental
+//!    reparse over full reparse.
+//! 2. **Stateful fallback.** The C grammar threads typedef state, so memo
+//!    entries are not position-independent facts and carrying them across
+//!    an edit would be unsound. `CompiledGrammar::uses_state()` detects
+//!    this and the session silently degrades to full reparses — this
+//!    series demonstrates that the fallback stays correct and reuses
+//!    nothing.
+//!
+//! Knobs: `MODPEG_BENCH_BYTES` (default 128 KiB), `MODPEG_BENCH_RUNS`
+//! (default 5, full-reparse baseline only — each incremental reparse is
+//! timed once because reparsing mutates the memo it measures).
+
+use std::hint::black_box;
+use std::ops::Range;
+use std::rc::Rc;
+use std::time::Duration;
+
+use modpeg_bench::{median_time, ms, print_table, time_once, Knobs};
+use modpeg_interp::{CompiledGrammar, OptConfig};
+use modpeg_session::ParseSession;
+
+const EDITS: usize = 10;
+
+/// Tiny deterministic generator so the edit script is reproducible.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Standalone numeric literals in `doc`, as `(start, len)` pairs. Digit
+/// runs embedded in identifiers (`v12`) are excluded: rewriting those
+/// renames the identifier, which a typedef-sensitive grammar may reject.
+fn digit_runs(doc: &str) -> Vec<(usize, usize)> {
+    let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let bytes = doc.as_bytes();
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let standalone = (start == 0 || !ident(bytes[start - 1]))
+                && (i == bytes.len() || !ident(bytes[i]));
+            if standalone {
+                runs.push((start, i - start));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    runs
+}
+
+/// Picks a digit run in `doc` and a replacement run of a different shape.
+fn random_digit_edit(doc: &str, rng: &mut Lcg) -> (Range<usize>, String) {
+    let runs = digit_runs(doc);
+    assert!(!runs.is_empty(), "workload contains digit runs");
+    let (start, len) = runs[rng.below(runs.len())];
+    let new_len = 1 + rng.below(6);
+    let replacement: String = (0..new_len)
+        .map(|_| char::from(b'1' + rng.below(9) as u8))
+        .collect();
+    (start..start + len, replacement)
+}
+
+fn median(mut times: Vec<Duration>) -> Duration {
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let knobs = Knobs::from_env(128 * 1024, 1, 5);
+    println!("E7 — incremental reparse\n");
+
+    // Series 1: memo reuse across edits on a pure (stateless) grammar.
+    let grammar = modpeg_grammars::java_grammar().expect("java elaborates");
+    let inc = Rc::new(
+        CompiledGrammar::compile(&grammar, OptConfig::incremental()).expect("compiles"),
+    );
+    let full = CompiledGrammar::compile(&grammar, OptConfig::all()).expect("compiles");
+    assert!(!inc.uses_state(), "the Java subset is a pure grammar");
+
+    let doc = modpeg_workload::java_program(11, knobs.bytes.max(100 * 1024));
+    println!(
+        "document: {} KiB of generated Java, {EDITS}-edit script (digit-run replacements)",
+        doc.len() / 1024
+    );
+
+    let mut session = ParseSession::new(Rc::clone(&inc), doc.clone());
+    let (t_prime, primed) = time_once(|| session.parse().expect("priming parse succeeds"));
+    assert_eq!(
+        primed.to_sexpr(),
+        full.parse(&doc).expect("parses").to_sexpr(),
+        "priming parse agrees with the fully optimized configuration"
+    );
+    println!("priming parse: {} ms\n", ms(t_prime));
+
+    let mut rng = Lcg(0xE7);
+    let mut shadow = doc;
+    let mut inc_times = Vec::new();
+    let mut full_times = Vec::new();
+    let mut rows = Vec::new();
+    for i in 0..EDITS {
+        let (range, replacement) = random_digit_edit(&shadow, &mut rng);
+        let at = range.start;
+        shadow.replace_range(range.clone(), &replacement);
+        session.apply_edit(range, &replacement);
+
+        let (t_inc, tree) = time_once(|| session.parse().expect("incremental reparse succeeds"));
+        let reused = session.last_stats().memo_columns_reused;
+        let dropped = session.last_stats().memo_columns_invalidated;
+        let t_full = median_time(knobs.runs, || {
+            black_box(full.parse(&shadow).expect("parses"));
+        });
+        assert_eq!(
+            tree.to_sexpr(),
+            full.parse(&shadow).expect("parses").to_sexpr(),
+            "edit {i}: incremental and from-scratch trees diverge"
+        );
+
+        rows.push(vec![
+            format!("{}", i + 1),
+            format!("{at}"),
+            ms(t_inc),
+            ms(t_full),
+            format!("{:.1}", t_full.as_secs_f64() / t_inc.as_secs_f64().max(1e-9)),
+            format!("{reused}"),
+            format!("{dropped}"),
+        ]);
+        inc_times.push(t_inc);
+        full_times.push(t_full);
+    }
+    print_table(
+        &["edit", "at byte", "incr ms", "full ms", "x", "cols reused", "cols dropped"],
+        &rows,
+    );
+
+    let m_inc = median(inc_times);
+    let m_full = median(full_times);
+    println!("\nmedian incremental reparse: {} ms", ms(m_inc));
+    println!("median full reparse:        {} ms", ms(m_full));
+    println!(
+        "speedup: {:.1}x (trees verified identical on every edit)",
+        m_full.as_secs_f64() / m_inc.as_secs_f64().max(1e-9)
+    );
+
+    // Series 2: stateful grammars fall back to full reparses.
+    println!("\nstateful fallback (C grammar with typedef state):");
+    let cg = modpeg_grammars::c_grammar().expect("c elaborates");
+    let cinc =
+        Rc::new(CompiledGrammar::compile(&cg, OptConfig::incremental()).expect("compiles"));
+    assert!(cinc.uses_state(), "the C subset threads typedef state");
+
+    let cdoc = modpeg_workload::c_program(7, 32 * 1024);
+    let mut cshadow = cdoc.clone();
+    let mut csession = ParseSession::new(Rc::clone(&cinc), cdoc);
+    println!(
+        "  uses_state = true, session incremental = {}",
+        csession.is_incremental()
+    );
+    csession.parse().expect("C document parses");
+    let mut ctimes = Vec::new();
+    for i in 0..EDITS {
+        let (range, replacement) = random_digit_edit(&cshadow, &mut rng);
+        cshadow.replace_range(range.clone(), &replacement);
+        csession.apply_edit(range, &replacement);
+        let (t, tree) = time_once(|| csession.parse().expect("C reparse succeeds"));
+        assert_eq!(
+            tree.to_sexpr(),
+            cinc.parse(&cshadow).expect("parses").to_sexpr(),
+            "edit {i}: fallback tree diverges from a scratch parse"
+        );
+        ctimes.push(t);
+    }
+    assert_eq!(
+        csession.stats().memo_columns_reused,
+        0,
+        "a stateful session must not carry memo entries across edits"
+    );
+    println!(
+        "  {EDITS} edits, median full reparse: {} ms, memo columns reused: 0, trees verified \
+         identical",
+        ms(median(ctimes))
+    );
+}

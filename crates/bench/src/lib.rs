@@ -12,6 +12,7 @@
 //! | `table_compare` | E4 — parser throughput comparison |
 //! | `fig_scaling` | E5 — linear-time scaling & backtracking blowup |
 //! | `table_extend` | E6 — extensibility case study |
+//! | `fig_incremental` | E8 — incremental reparse sessions |
 //!
 //! This library crate holds the shared measurement utilities.
 

@@ -5,12 +5,16 @@
 //! modpeg stats  <grammar.mpeg>...
 //! modpeg parse  <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--stats]
 //! modpeg gen    <grammar.mpeg>... --root <module> [--start <prod>] [--out <file.rs>]
+//! modpeg session-bench <grammar.mpeg>... --root <module> --input <file> [--edits <n>]
 //! ```
 
 use std::process::ExitCode;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
 
 use modpeg_core::Grammar;
 use modpeg_interp::{CompiledGrammar, OptConfig};
+use modpeg_session::ParseSession;
 
 struct Args {
     command: String,
@@ -19,6 +23,7 @@ struct Args {
     start: Option<String>,
     input: Option<String>,
     out: Option<String>,
+    edits: usize,
     dump: bool,
     stats: bool,
     trace: bool,
@@ -32,7 +37,8 @@ fn usage() -> &'static str {
      modpeg stats <grammar.mpeg>...\n  \
      modpeg parse <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--stats] [--trace]\n  \
      modpeg coverage <grammar.mpeg>... --root <module> [--start <prod>] --input <file>\n  \
-     modpeg gen   <grammar.mpeg>... --root <module> [--start <prod>] [--out <file.rs>]"
+     modpeg gen   <grammar.mpeg>... --root <module> [--start <prod>] [--out <file.rs>]\n  \
+     modpeg session-bench <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--edits <n>]"
 }
 
 fn parse_args(argv: Vec<String>) -> Result<Args, String> {
@@ -45,6 +51,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         start: None,
         input: None,
         out: None,
+        edits: 10,
         dump: false,
         stats: false,
         trace: false,
@@ -55,6 +62,13 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
             "--start" => args.start = Some(it.next().ok_or("--start needs a value")?),
             "--input" => args.input = Some(it.next().ok_or("--input needs a value")?),
             "--out" => args.out = Some(it.next().ok_or("--out needs a value")?),
+            "--edits" => {
+                args.edits = it
+                    .next()
+                    .ok_or("--edits needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--edits: {e}"))?;
+            }
             "--dump" => args.dump = true,
             "--stats" => args.stats = true,
             "--trace" => args.trace = true,
@@ -199,6 +213,110 @@ fn cmd_coverage(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds a deterministic script of `n` digit-run edits against `text`,
+/// each expressed in the coordinates of the document *after* the previous
+/// edits (the shape an editor produces). Returns `None` when the input has
+/// no digit runs to rewrite.
+fn digit_edit_script(text: &str, n: usize) -> Option<Vec<(std::ops::Range<usize>, String)>> {
+    let mut doc = text.to_owned();
+    let mut script = Vec::with_capacity(n);
+    let mut state = 0x9E3779B97F4A7C15u64; // fixed-seed SplitMix-style stream
+    for _ in 0..n {
+        let runs: Vec<(usize, usize)> = {
+            let bytes = doc.as_bytes();
+            let mut runs = Vec::new();
+            let mut i = 0;
+            while i < bytes.len() {
+                if bytes[i].is_ascii_digit() {
+                    let start = i;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    runs.push((start, i));
+                } else {
+                    i += 1;
+                }
+            }
+            runs
+        };
+        if runs.is_empty() {
+            return None;
+        }
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let (lo, hi) = runs[(state >> 33) as usize % runs.len()];
+        let new_len = 1 + (state % 6) as usize;
+        let replacement: String = (0..new_len)
+            .map(|k| char::from(b'1' + ((state >> (k * 7)) % 9) as u8))
+            .collect();
+        doc.replace_range(lo..hi, &replacement);
+        script.push((lo..hi, replacement));
+    }
+    Some(script)
+}
+
+fn median(times: &mut [Duration]) -> Duration {
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn cmd_session_bench(args: &Args) -> Result<(), String> {
+    let grammar = load_grammar(args)?;
+    let input_path = args.input.as_ref().ok_or("--input <file> is required")?;
+    let input = std::fs::read_to_string(input_path).map_err(|e| format!("{input_path}: {e}"))?;
+    let compiled = Rc::new(
+        CompiledGrammar::compile(&grammar, OptConfig::incremental()).map_err(|e| e.to_string())?,
+    );
+    if args.edits == 0 {
+        return Err("--edits must be at least 1".to_owned());
+    }
+    let script = digit_edit_script(&input, args.edits)
+        .ok_or("input has no digit runs to edit; session-bench rewrites numeric literals")?;
+
+    // Incremental: one priming parse, then reparse after each edit.
+    let mut session = ParseSession::new(compiled.clone(), input.clone());
+    let t0 = Instant::now();
+    let tree = session.parse().map_err(|e| format!("priming parse: {e}"))?;
+    let prime = t0.elapsed();
+    drop(tree);
+    let mut incremental_times = Vec::with_capacity(script.len());
+    let mut incremental_trees = Vec::with_capacity(script.len());
+    for (range, replacement) in &script {
+        session.apply_edit(range.clone(), replacement);
+        let t = Instant::now();
+        let tree = session.parse().map_err(|e| format!("incremental reparse: {e}"))?;
+        incremental_times.push(t.elapsed());
+        incremental_trees.push(tree.to_sexpr());
+    }
+
+    // Baseline: full reparse of each edited document.
+    let mut doc = input;
+    let mut full_times = Vec::with_capacity(script.len());
+    for ((range, replacement), incremental_sexpr) in script.iter().zip(&incremental_trees) {
+        doc.replace_range(range.clone(), replacement.as_str());
+        let t = Instant::now();
+        let tree = compiled.parse(&doc).map_err(|e| format!("full reparse: {e}"))?;
+        full_times.push(t.elapsed());
+        if tree.to_sexpr() != *incremental_sexpr {
+            return Err(format!(
+                "tree mismatch after edit {range:?}: incremental and full reparses disagree"
+            ));
+        }
+    }
+
+    let inc = median(&mut incremental_times);
+    let full = median(&mut full_times);
+    let speedup = full.as_secs_f64() / inc.as_secs_f64().max(1e-9);
+    println!("document: {} bytes, {} edits", doc.len(), script.len());
+    println!("priming parse: {:.3} ms", prime.as_secs_f64() * 1e3);
+    println!("median incremental reparse: {:.3} ms", inc.as_secs_f64() * 1e3);
+    println!("median full reparse:        {:.3} ms", full.as_secs_f64() * 1e3);
+    println!("speedup: {speedup:.1}x (trees verified identical)");
+    if args.stats {
+        println!("{}", session.stats());
+    }
+    Ok(())
+}
+
 fn cmd_gen(args: &Args) -> Result<(), String> {
     let grammar = load_grammar(args)?;
     let doc = format!("Generated from {}", args.files.join(", "));
@@ -230,6 +348,7 @@ fn main() -> ExitCode {
         "parse" => cmd_parse(&args),
         "coverage" => cmd_coverage(&args),
         "gen" => cmd_gen(&args),
+        "session-bench" => cmd_session_bench(&args),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     };
     match result {
@@ -258,6 +377,31 @@ mod tests {
         assert_eq!(a.root.as_deref(), Some("java.Program"));
         assert_eq!(a.input.as_deref(), Some("x.java"));
         assert!(a.stats && !a.dump && !a.trace);
+    }
+
+    #[test]
+    fn parses_edits_flag() {
+        let a = parse_args(argv("session-bench g.mpeg --input x.calc --edits 25")).unwrap();
+        assert_eq!(a.command, "session-bench");
+        assert_eq!(a.edits, 25);
+        assert!(parse_args(argv("session-bench g.mpeg --edits nope")).is_err());
+    }
+
+    #[test]
+    fn digit_edit_script_is_deterministic_and_applies_cleanly() {
+        let text = "x = 12 + 345; y = 6;";
+        let a = digit_edit_script(text, 8).unwrap();
+        let b = digit_edit_script(text, 8).unwrap();
+        assert_eq!(a.len(), 8);
+        for ((ra, sa), (rb, sb)) in a.iter().zip(&b) {
+            assert_eq!((ra.start, ra.end, sa), (rb.start, rb.end, sb));
+        }
+        let mut doc = text.to_owned();
+        for (range, replacement) in &a {
+            doc.replace_range(range.clone(), replacement);
+        }
+        assert!(doc.bytes().any(|c| c.is_ascii_digit()));
+        assert!(digit_edit_script("no numbers here", 3).is_none());
     }
 
     #[test]

@@ -457,6 +457,23 @@ impl CompiledGrammar {
         self.prods.iter().filter(|p| p.memo_slot.is_some()).count()
     }
 
+    /// Whether any production touches parser state (`^=`, `^?`, `^!`, or a
+    /// state scope).
+    ///
+    /// Stateful results are valid only under the state environment they
+    /// were computed in, which an edit elsewhere in the document can
+    /// change — so incremental sessions must not carry memo tables across
+    /// edits for stateful grammars; they fall back to full reparses.
+    pub fn uses_state(&self) -> bool {
+        self.prods.iter().any(|p| p.epoch_check)
+            || self.exprs.iter().any(|e| {
+                matches!(
+                    e,
+                    CExpr::SDefine(_) | CExpr::SIsDef(_) | CExpr::SIsNotDef(_) | CExpr::SScope(_)
+                )
+            })
+    }
+
     /// Internal IR accessors for the code generator.
     #[doc(hidden)]
     pub fn ir_prods(&self) -> &[CProd] {

@@ -96,6 +96,18 @@ impl OptConfig {
         }
     }
 
+    /// The configuration incremental parse sessions use: everything in
+    /// [`OptConfig::all`] except the two transient-marking optimizations.
+    /// Transient productions skip memoization, which is the right trade
+    /// for a single parse but guts an incremental session — unmemoized
+    /// results cannot be reused across edits.
+    pub fn incremental() -> Self {
+        let mut cfg = OptConfig::all();
+        cfg.transient = false;
+        cfg.transient_auto = false;
+        cfg
+    }
+
     /// The first `n` optimizations (in [`OPT_NAMES`] order) enabled — the
     /// configuration for step `n` of the cumulative ablation study.
     /// `n` is clamped to [`OPT_COUNT`].

@@ -18,10 +18,25 @@ enum Memo {
 }
 
 impl Memo {
-    fn probe(&self, slot: u32, pos: u32) -> Option<&MemoAnswer> {
+    fn probe(&mut self, slot: u32, pos: u32) -> Option<&MemoAnswer> {
         match self {
             Memo::Hash(m) => m.probe(slot, pos),
-            Memo::Chunk(m) => m.probe(slot, pos),
+            // Settling is a no-op outside incremental sessions (bias 0),
+            // and mandatory inside them — so always probe through it.
+            Memo::Chunk(m) => m.probe_settled(slot, pos),
+        }
+    }
+
+    fn record_extent(&mut self, pos: u32, len: u32) {
+        if let Memo::Chunk(m) = self {
+            m.record_extent(pos, len);
+        }
+    }
+
+    fn extent_at(&self, pos: u32) -> u32 {
+        match self {
+            Memo::Hash(_) => 0,
+            Memo::Chunk(m) => m.extent_at(pos),
         }
     }
 
@@ -49,6 +64,11 @@ struct Run<'g, 'i> {
     state: ScopedState,
     failures: Failures,
     stats: Stats,
+    /// High-water mark of input offsets examined since the innermost
+    /// memoized evaluation began: the basis of the per-column lookahead
+    /// extents that incremental sessions use to invalidate soundly. A peek
+    /// past the end of input counts as examining one byte beyond it.
+    examined: u32,
     /// Failure recording is suppressed inside predicates.
     suppress: u32,
     /// Alternative-coverage recording, when requested.
@@ -77,6 +97,7 @@ impl<'g, 'i> Run<'g, 'i> {
             state: ScopedState::new(),
             failures,
             stats: Stats::default(),
+            examined: 0,
             suppress: 0,
             coverage: None,
             trace: None,
@@ -87,6 +108,38 @@ impl<'g, 'i> Run<'g, 'i> {
         if self.suppress == 0 {
             self.failures.note(pos, desc);
         }
+    }
+
+    // ----- input access (with lookahead accounting) -----
+    //
+    // Every read of the source text goes through one of these wrappers so
+    // that `examined` soundly over-approximates the bytes a memoized
+    // result depends on. Reads that fail at end of input still count one
+    // byte past the end: appending text there must invalidate the result.
+
+    fn peek_byte(&mut self, pos: u32) -> Option<u8> {
+        self.examined = self.examined.max(pos.saturating_add(1));
+        self.input.byte_at(pos)
+    }
+
+    fn peek_char(&mut self, pos: u32) -> Option<(char, u32)> {
+        match self.input.char_at(pos) {
+            Some((c, len)) => {
+                self.examined = self.examined.max(pos + len);
+                Some((c, len))
+            }
+            None => {
+                self.examined = self.examined.max(pos.saturating_add(1));
+                None
+            }
+        }
+    }
+
+    fn match_lit(&mut self, pos: u32, literal: &str) -> bool {
+        self.examined = self
+            .examined
+            .max(pos.saturating_add(literal.len() as u32));
+        self.input.starts_with(pos, literal)
     }
 
     // ----- value construction (with allocation accounting) -----
@@ -160,6 +213,11 @@ impl<'g, 'i> Run<'g, 'i> {
                         None => Err(Fail),
                         Some((end, value)) => Ok((*end, value.clone())),
                     };
+                    // The stored result depends on the bytes its original
+                    // evaluation examined; charge them to the enclosing
+                    // memoized evaluation's extent.
+                    let ext = self.memo.extent_at(pos);
+                    self.examined = self.examined.max(pos.saturating_add(ext));
                     if let Some(t) = &mut self.trace {
                         t.push(
                             id.0,
@@ -177,6 +235,14 @@ impl<'g, 'i> Run<'g, 'i> {
         if let Some(t) = &mut self.trace {
             t.push(id.0, pos, crate::TraceOutcome::Enter);
             t.depth += 1;
+        }
+        // Bracket memoized evaluations: reset the examined watermark to the
+        // start position, so that afterwards `examined - pos` is exactly
+        // this evaluation's lookahead extent, then fold it back into the
+        // enclosing bracket.
+        let outer_examined = self.examined;
+        if p.memo_slot.is_some() {
+            self.examined = pos;
         }
         let result = if p.lr.is_some() {
             if g.cfg.left_recursion_iter {
@@ -206,6 +272,9 @@ impl<'g, 'i> Run<'g, 'i> {
                 };
                 self.memo.store(slot, pos, ans);
             }
+            let high = self.examined;
+            self.memo.record_extent(pos, high.saturating_sub(pos));
+            self.examined = outer_examined.max(high);
         }
         result
     }
@@ -233,7 +302,7 @@ impl<'g, 'i> Run<'g, 'i> {
             &p.alts
         };
         let want = self.inner_want(p.kind, p.text_takes_inner);
-        let byte = self.input.byte_at(pos);
+        let byte = self.peek_byte(pos);
         for (alt_idx, alt) in alts.iter().enumerate() {
             if let Some((first, desc)) = &alt.first {
                 if !first.admits(byte) {
@@ -305,7 +374,7 @@ impl<'g, 'i> Run<'g, 'i> {
         let (mut end, mut seed) = self.eval_alts(id, true, pos)?;
         let tails = &p.lr.as_ref().expect("caller checked").tails;
         'grow: loop {
-            let byte = self.input.byte_at(end);
+            let byte = self.peek_byte(end);
             for tail in tails {
                 if let Some((first, desc)) = &tail.first {
                     if !first.admits(byte) {
@@ -378,7 +447,7 @@ impl<'g, 'i> Run<'g, 'i> {
         let g = self.g;
         match &g.exprs[eid as usize] {
             CExpr::Empty => Ok((pos, Out::None)),
-            CExpr::Any => match self.input.char_at(pos) {
+            CExpr::Any => match self.peek_char(pos) {
                 Some((_, len)) => Ok((pos + len, Out::None)),
                 None => {
                     self.note(pos, "any character");
@@ -389,7 +458,7 @@ impl<'g, 'i> Run<'g, 'i> {
                 let bytes = text.as_bytes();
                 if g.cfg.string_match {
                     self.stats.terminal_comparisons += bytes.len() as u64;
-                    if self.input.starts_with(pos, text) {
+                    if self.match_lit(pos, text) {
                         Ok((pos + bytes.len() as u32, Out::None))
                     } else {
                         self.note(pos, desc);
@@ -399,7 +468,7 @@ impl<'g, 'i> Run<'g, 'i> {
                     let mut p = pos;
                     for &b in bytes {
                         self.stats.terminal_comparisons += 1;
-                        match self.input.byte_at(p) {
+                        match self.peek_byte(p) {
                             Some(x) if x == b => p += 1,
                             _ => {
                                 self.note(pos, &desc.clone());
@@ -412,7 +481,7 @@ impl<'g, 'i> Run<'g, 'i> {
             }
             CExpr::Class { class, desc } => {
                 self.stats.terminal_comparisons += 1;
-                match self.input.char_at(pos) {
+                match self.peek_char(pos) {
                     Some((c, len)) if class.matches(c) => Ok((pos + len, Out::None)),
                     _ => {
                         self.note(pos, &desc.clone());
@@ -443,7 +512,7 @@ impl<'g, 'i> Run<'g, 'i> {
                 Ok((p, seq_out(values)))
             }
             CExpr::Choice { arms, first } => {
-                let byte = self.input.byte_at(pos);
+                let byte = self.peek_byte(pos);
                 for (i, &arm) in arms.iter().enumerate() {
                     if let Some(sets) = first {
                         let (set, desc) = &sets[i];
@@ -633,18 +702,35 @@ impl<'g, 'i> Run<'g, 'i> {
                 self.stats.memo_stale += 1;
             } else {
                 self.stats.memo_hits += 1;
-                let Some((end, value)) = &ans.outcome else {
+                let hit = match &ans.outcome {
                     // Star always succeeds; a failure entry is impossible.
-                    return Err(Fail);
+                    None => None,
+                    Some((end, value)) => Some((*end, value.clone())),
                 };
-                return Ok((*end, decode_helper(*value == Value::Unit, value.clone())));
+                let ext = self.memo.extent_at(pos);
+                self.examined = self.examined.max(pos.saturating_add(ext));
+                return match hit {
+                    None => Err(Fail),
+                    Some((end, value)) => {
+                        Ok((end, decode_helper(value == Value::Unit, value)))
+                    }
+                };
             }
         }
         self.stats.productions_evaluated += 1;
+        let outer_examined = self.examined;
+        self.examined = pos;
         let mark = self.state.mark();
         let result: (u32, Out) = match self.eval(inner, pos, want) {
             Ok((np, out)) if np > pos => {
-                let (end, rest) = self.eval_rep_memo(eid, inner, slot, yields, np, want)?;
+                let rest = self.eval_rep_memo(eid, inner, slot, yields, np, want);
+                let (end, rest) = match rest {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.examined = outer_examined.max(self.examined);
+                        return Err(e);
+                    }
+                };
                 if want && yields {
                     let mut items = out.into_values();
                     if let Out::One(Value::List(l)) = &rest {
@@ -675,6 +761,9 @@ impl<'g, 'i> Run<'g, 'i> {
         self.memo
             .store(slot, pos, MemoAnswer::success(epoch, result.0, encoded));
         self.stats.memo_stores += 1;
+        let high = self.examined;
+        self.memo.record_extent(pos, high.saturating_sub(pos));
+        self.examined = outer_examined.max(high);
         Ok(result)
     }
 
@@ -690,15 +779,23 @@ impl<'g, 'i> Run<'g, 'i> {
     ) -> EvalResult {
         let epoch_check = self.g.reads_state[eid as usize];
         self.stats.memo_probes += 1;
+        let mut hit: Option<(u32, Value)> = None;
         if let Some(ans) = self.memo.probe(slot, pos) {
             if !epoch_check || ans.epoch == self.state.epoch() {
                 if let Some((end, value)) = &ans.outcome {
-                    self.stats.memo_hits += 1;
-                    return Ok((*end, decode_helper(*value == Value::Unit, value.clone())));
+                    hit = Some((*end, value.clone()));
                 }
             }
         }
+        if let Some((end, value)) = hit {
+            self.stats.memo_hits += 1;
+            let ext = self.memo.extent_at(pos);
+            self.examined = self.examined.max(pos.saturating_add(ext));
+            return Ok((end, decode_helper(value == Value::Unit, value)));
+        }
         self.stats.productions_evaluated += 1;
+        let outer_examined = self.examined;
+        self.examined = pos;
         let mark = self.state.mark();
         let (end, out) = match self.eval(inner, pos, want) {
             Ok((end, out)) => (end, normalize_opt(self, out)),
@@ -716,6 +813,9 @@ impl<'g, 'i> Run<'g, 'i> {
         self.memo
             .store(slot, pos, MemoAnswer::success(epoch, end, encoded));
         self.stats.memo_stores += 1;
+        let high = self.examined;
+        self.memo.record_extent(pos, high.saturating_sub(pos));
+        self.examined = outer_examined.max(high);
         Ok((end, out))
     }
 
@@ -824,6 +924,91 @@ impl CompiledGrammar {
         };
         run.finish_stats();
         (outcome, run.stats)
+    }
+
+    /// Like [`CompiledGrammar::parse_with_stats`], but parses with (and
+    /// returns) a caller-supplied [`ChunkMemo`], enabling incremental
+    /// reparsing: columns carried over from an earlier parse of the same
+    /// document — after [`ChunkMemo::apply_edit`] translated them past an
+    /// edit — are served as memo hits instead of being re-evaluated.
+    ///
+    /// The grammar must have been compiled with the `chunks` optimization
+    /// (e.g. [`OptConfig::incremental`]); without it the call degrades to
+    /// an ordinary full parse. A memo table whose geometry does not match
+    /// this grammar and `text` is reset rather than trusted. Grammars that
+    /// use parser state must not carry memo tables across edits at all —
+    /// check [`CompiledGrammar::uses_state`] and reparse from scratch.
+    ///
+    /// [`OptConfig::incremental`]: crate::OptConfig::incremental
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] exactly as [`CompiledGrammar::parse`]
+    /// does; the memo table is returned (and reusable) in either case.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use modpeg_core::{CharClass, Expr, GrammarBuilder, ProdKind};
+    /// use modpeg_interp::{CompiledGrammar, OptConfig};
+    /// use modpeg_runtime::ChunkMemo;
+    ///
+    /// let mut b = GrammarBuilder::new("m");
+    /// b.production("Word", ProdKind::Text, vec![(None, Expr::Capture(Box::new(
+    ///     Expr::Plus(Box::new(Expr::Class(CharClass::from_ranges(
+    ///         vec![('a', 'z')], false)))))))]);
+    /// let grammar = b.build("Word")?;
+    /// let parser = CompiledGrammar::compile(&grammar, OptConfig::incremental())?;
+    ///
+    /// // Priming parse populates the memo table.
+    /// let memo = ChunkMemo::new(parser.memo_slot_count(), 5);
+    /// let (tree, _, mut memo) = parser.parse_incremental("hello", memo);
+    /// assert!(tree.is_ok());
+    ///
+    /// // Replace bytes 1..3 ("el") with one byte, then reparse the edited
+    /// // text reusing whatever survived the edit.
+    /// memo.apply_edit(1, 2, 1);
+    /// let (tree, _, _) = parser.parse_incremental("halo", memo);
+    /// assert_eq!(tree.expect("still a word").to_sexpr(), "\"halo\"");
+    /// # Ok::<(), modpeg_core::Diagnostics>(())
+    /// ```
+    pub fn parse_incremental(
+        &self,
+        text: &str,
+        mut memo: ChunkMemo,
+    ) -> (Result<SyntaxTree, ParseError>, Stats, ChunkMemo) {
+        if text.len() > u32::MAX as usize {
+            let input = Input::new("");
+            let mut failures = Failures::new();
+            failures.note(0, "input smaller than 4 GiB");
+            memo.reset_for(self.n_slots, 0);
+            return (Err(failures.to_error(&input)), Stats::default(), memo);
+        }
+        if !self.cfg.chunks {
+            let (result, stats) = self.parse_with_stats(text);
+            return (result, stats, memo);
+        }
+        if !memo.fits(self.n_slots, text.len() as u32) {
+            memo.reset_for(self.n_slots, text.len() as u32);
+        }
+        let mut run = Run::new(self, text);
+        run.memo = Memo::Chunk(memo);
+        let result = run.eval_prod(self.root, 0);
+        let outcome = match result {
+            Ok((end, value)) if end == run.input.len() => Ok(SyntaxTree::new(text, value)),
+            Ok((end, _)) => {
+                run.note(end, "end of input");
+                Err(run.failures.to_error(&run.input))
+            }
+            Err(_) => Err(run.failures.to_error(&run.input)),
+        };
+        run.finish_stats();
+        let mut stats = std::mem::take(&mut run.stats);
+        let Memo::Chunk(mut memo) = run.memo else {
+            unreachable!("installed as Chunk above")
+        };
+        stats.memo_entries_shifted += memo.take_entries_shifted();
+        (outcome, stats, memo)
     }
 
     /// Like [`CompiledGrammar::parse`], additionally recording
@@ -1391,6 +1576,116 @@ mod tests {
         let (_, trace) = c.parse_with_trace("(1+2)*(3+4)", 8);
         assert!(trace.is_truncated());
         assert_eq!(trace.events().len(), 8);
+    }
+
+    #[test]
+    fn incremental_reparse_agrees_with_full_reparse_and_reuses_entries() {
+        let g = calc_grammar();
+        let c = CompiledGrammar::compile(&g, OptConfig::incremental()).unwrap();
+        let before = "1+2*3+(4-5)+6";
+        let memo = ChunkMemo::new(c.memo_slot_count(), before.len() as u32);
+        let (r1, _, mut memo) = c.parse_incremental(before, memo);
+        assert!(r1.is_ok());
+        // Replace the "3" at offset 4 with "33".
+        let after = "1+2*33+(4-5)+6";
+        memo.apply_edit(4, 1, 2);
+        let (r2, stats, _) = c.parse_incremental(after, memo);
+        assert_eq!(
+            r2.unwrap().to_sexpr(),
+            c.parse(after).unwrap().to_sexpr()
+        );
+        // The parenthesized group right of the edit is served from memo,
+        // with its spans translated on first probe.
+        assert!(stats.memo_hits > 0, "{stats:?}");
+        assert!(stats.memo_entries_shifted > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn incremental_append_at_end_invalidates_eof_peeks() {
+        // "1+2" -> "1+24": the Num that matched "2" peeked end of input,
+        // so its column must not survive an append there.
+        let g = calc_grammar();
+        let c = CompiledGrammar::compile(&g, OptConfig::incremental()).unwrap();
+        let memo = ChunkMemo::new(c.memo_slot_count(), 3);
+        let (r1, _, mut memo) = c.parse_incremental("1+2", memo);
+        assert!(r1.is_ok());
+        memo.apply_edit(3, 0, 1);
+        let (r2, _, _) = c.parse_incremental("1+24", memo);
+        assert_eq!(
+            r2.unwrap().to_sexpr(),
+            c.parse("1+24").unwrap().to_sexpr()
+        );
+    }
+
+    #[test]
+    fn incremental_deletion_agrees_with_full_reparse() {
+        let g = calc_grammar();
+        let c = CompiledGrammar::compile(&g, OptConfig::incremental()).unwrap();
+        let before = "(1+2)*(3+4)*(5+6)";
+        let memo = ChunkMemo::new(c.memo_slot_count(), before.len() as u32);
+        let (r1, _, mut memo) = c.parse_incremental(before, memo);
+        assert!(r1.is_ok());
+        // Delete "*(3+4)" (offsets 5..11).
+        let after = "(1+2)*(5+6)";
+        memo.apply_edit(5, 6, 0);
+        let (r2, _, _) = c.parse_incremental(after, memo);
+        assert_eq!(
+            r2.unwrap().to_sexpr(),
+            c.parse(after).unwrap().to_sexpr()
+        );
+    }
+
+    #[test]
+    fn incremental_records_root_extent() {
+        let g = calc_grammar();
+        let c = CompiledGrammar::compile(&g, OptConfig::incremental()).unwrap();
+        let text = "1+2*3";
+        let memo = ChunkMemo::new(c.memo_slot_count(), text.len() as u32);
+        let (r, _, memo) = c.parse_incremental(text, memo);
+        assert!(r.is_ok());
+        // The root evaluation examined the whole input (and peeked EOF).
+        assert!(memo.extent_at(0) >= text.len() as u32);
+    }
+
+    #[test]
+    fn incremental_with_mismatched_memo_resets_and_parses() {
+        let g = calc_grammar();
+        let c = CompiledGrammar::compile(&g, OptConfig::incremental()).unwrap();
+        let memo = ChunkMemo::new(1, 1); // deliberately wrong geometry
+        let (r, _, memo) = c.parse_incremental("1+2*3", memo);
+        assert!(r.is_ok());
+        assert!(memo.fits(c.memo_slot_count(), 5));
+    }
+
+    #[test]
+    fn incremental_without_chunks_degrades_to_full_parse() {
+        let g = calc_grammar();
+        let cfg = OptConfig::all_except("chunks").unwrap();
+        let c = CompiledGrammar::compile(&g, cfg).unwrap();
+        let memo = ChunkMemo::new(3, 3);
+        let (r, _, _) = c.parse_incremental("1+2", memo);
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn uses_state_flags_stateful_grammars_only() {
+        assert!(!CompiledGrammar::compile(&calc_grammar(), OptConfig::all())
+            .unwrap()
+            .uses_state());
+        let mut b = GrammarBuilder::new("m");
+        b.production(
+            "S",
+            ProdKind::Node,
+            vec![(
+                Some("D".into()),
+                E::StateDefine(Box::new(E::Capture(Box::new(E::Plus(Box::new(lc())))))),
+            )],
+        );
+        let g = b.build("S").unwrap();
+        for cfg in [OptConfig::none(), OptConfig::incremental()] {
+            let c = CompiledGrammar::compile(&g, cfg).unwrap();
+            assert!(c.uses_state(), "{cfg:?}");
+        }
     }
 
     #[test]

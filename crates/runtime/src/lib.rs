@@ -46,7 +46,7 @@ mod value;
 
 pub use error::{Failures, ParseError};
 pub use input::Input;
-pub use memo::{ChunkMemo, HashMemo, MemoAnswer, MemoTable, CHUNK_SIZE};
+pub use memo::{ChunkMemo, EditReport, HashMemo, MemoAnswer, MemoTable, CHUNK_SIZE};
 pub use out::Out;
 pub use span::{LineCol, LineMap, Span};
 pub use state::{ScopedState, StateMark};

@@ -111,14 +111,75 @@ type Chunk = Box<[Option<MemoAnswer>; CHUNK_SIZE]>;
 #[derive(Debug)]
 struct Column {
     chunks: Box<[Option<Chunk>]>,
+    /// Maximum lookahead of any entry ever stored in this column, as a
+    /// *length*: every entry's evaluation examined only input bytes in
+    /// `[pos, pos + extent)` (treating a peek at EOF as examining one byte
+    /// past the end). Lengths are shift-invariant, so a relocated column
+    /// keeps its extent unchanged.
+    extent: u32,
+    /// Pending span translation from [`ChunkMemo::apply_edit`], applied
+    /// lazily to entry end offsets and values on first probe.
+    bias: i64,
+    /// Live entries in this column (keeps the table's `stored` total exact
+    /// when a whole column is invalidated).
+    count: u32,
 }
 
 impl Column {
     fn new(n_chunks: usize) -> Self {
         Column {
             chunks: std::iter::repeat_with(|| None).take(n_chunks).collect(),
+            extent: 0,
+            bias: 0,
+            count: 0,
         }
     }
+
+    /// Empties the column for reuse, keeping chunk allocations.
+    fn clear(&mut self) {
+        for chunk in self.chunks.iter_mut().flatten() {
+            for cell in chunk.iter_mut() {
+                *cell = None;
+            }
+        }
+        self.extent = 0;
+        self.bias = 0;
+        self.count = 0;
+    }
+
+    /// Applies the pending bias to every entry, returning how many entries
+    /// were rewritten.
+    fn settle(&mut self) -> u64 {
+        if self.bias == 0 {
+            return 0;
+        }
+        let bias = std::mem::take(&mut self.bias);
+        let mut shifted = 0u64;
+        for chunk in self.chunks.iter_mut().flatten() {
+            for cell in chunk.iter_mut() {
+                if let Some(answer) = cell {
+                    if let Some((end, value)) = answer.outcome.take() {
+                        answer.outcome = Some(((end as i64 + bias) as u32, value.shifted(bias)));
+                    }
+                    shifted += 1;
+                }
+            }
+        }
+        shifted
+    }
+}
+
+/// Outcome of [`ChunkMemo::apply_edit`]: how much memoized work survived.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EditReport {
+    /// Columns kept (in place to the left of the edit, or relocated with
+    /// the text to the right of it).
+    pub columns_reused: u64,
+    /// Columns dropped because their entries' lookahead overlapped the
+    /// edited window.
+    pub columns_invalidated: u64,
+    /// Memo entries discarded along with invalidated columns.
+    pub entries_dropped: u64,
 }
 
 /// Chunked column memoization (the paper's *chunks* optimization).
@@ -141,10 +202,17 @@ impl Column {
 #[derive(Debug)]
 pub struct ChunkMemo {
     columns: Vec<Option<Box<Column>>>,
+    n_slots: u32,
     n_chunks: usize,
     stored: u64,
     allocated_chunks: u64,
     allocated_columns: u64,
+    /// Cleared columns awaiting reuse (session pooling): allocations from
+    /// invalidated or reset columns are recycled instead of freed.
+    spare: Vec<Box<Column>>,
+    /// Entries whose spans have been translated by lazy settling since the
+    /// last [`ChunkMemo::take_entries_shifted`].
+    entries_shifted: u64,
 }
 
 impl ChunkMemo {
@@ -156,10 +224,13 @@ impl ChunkMemo {
             columns: std::iter::repeat_with(|| None)
                 .take(input_len as usize + 1)
                 .collect(),
+            n_slots,
             n_chunks,
             stored: 0,
             allocated_chunks: 0,
             allocated_columns: 0,
+            spare: Vec::new(),
+            entries_shifted: 0,
         }
     }
 
@@ -172,26 +243,174 @@ impl ChunkMemo {
     pub fn chunks_allocated(&self) -> u64 {
         self.allocated_chunks
     }
+
+    /// Number of valid positions (`input_len + 1`).
+    pub fn n_positions(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the table's geometry matches `n_slots` productions over an
+    /// input of `input_len` bytes.
+    pub fn fits(&self, n_slots: u32, input_len: u32) -> bool {
+        self.n_slots == n_slots && self.columns.len() == input_len as usize + 1
+    }
+
+    /// Takes (and resets) the count of entries relocated by lazy settling
+    /// since the last call.
+    pub fn take_entries_shifted(&mut self) -> u64 {
+        std::mem::take(&mut self.entries_shifted)
+    }
+
+    /// Fetches a recycled column, or allocates a fresh one.
+    fn fresh_column(spare: &mut Vec<Box<Column>>, n_chunks: usize, allocated: &mut u64) -> Box<Column> {
+        spare.pop().unwrap_or_else(|| {
+            *allocated += 1;
+            Box::new(Column::new(n_chunks))
+        })
+    }
+
+    /// Records that an evaluation starting at `pos` examined input bytes
+    /// `[pos, pos + len)`. Every store at `pos` must be covered by such a
+    /// record for [`ChunkMemo::apply_edit`] to invalidate soundly; columns
+    /// without entries need no record.
+    pub fn record_extent(&mut self, pos: u32, len: u32) {
+        if let Some(Some(col)) = self.columns.get_mut(pos as usize) {
+            col.extent = col.extent.max(len);
+        }
+    }
+
+    /// The recorded lookahead extent (as a length) of the column at `pos`,
+    /// or 0 when no column exists.
+    pub fn extent_at(&self, pos: u32) -> u32 {
+        match self.columns.get(pos as usize) {
+            Some(Some(col)) => col.extent,
+            _ => 0,
+        }
+    }
+
+    /// Like [`MemoTable::probe`], but first applies any span translation
+    /// pending on the column from an earlier [`ChunkMemo::apply_edit`].
+    /// Incremental sessions must probe through this method; the plain
+    /// `probe` assumes (and debug-asserts) no translation is pending.
+    pub fn probe_settled(&mut self, slot: u32, pos: u32) -> Option<&MemoAnswer> {
+        if let Some(Some(col)) = self.columns.get_mut(pos as usize) {
+            self.entries_shifted += col.settle();
+        }
+        self.probe(slot, pos)
+    }
+
+    /// Rewrites the table for an edit replacing bytes `[lo, lo + removed)`
+    /// with `inserted` new bytes:
+    ///
+    /// * columns left of the edit whose recorded lookahead stays left of
+    ///   `lo` are kept in place;
+    /// * columns at or right of the removed window move with their text to
+    ///   position `pos + inserted - removed`, carrying a pending span
+    ///   translation that [`ChunkMemo::probe_settled`] applies lazily;
+    /// * every other column (lookahead overlapping the edited window, or
+    ///   inside the removed range) is invalidated, its allocation recycled.
+    ///
+    /// After this call the table is sized for the post-edit input; probing
+    /// must go through [`ChunkMemo::probe_settled`] until every surviving
+    /// column has settled.
+    pub fn apply_edit(&mut self, lo: u32, removed: u32, inserted: u32) -> EditReport {
+        let old_positions = self.columns.len();
+        let old_len = old_positions as u32 - 1;
+        let lo = lo.min(old_len);
+        let removed = removed.min(old_len - lo);
+        let delta = inserted as i64 - removed as i64;
+        let new_positions = (old_positions as i64 + delta) as usize;
+
+        let mut report = EditReport::default();
+        let old_columns = std::mem::replace(
+            &mut self.columns,
+            std::iter::repeat_with(|| None).take(new_positions).collect(),
+        );
+        for (pos, col_slot) in old_columns.into_iter().enumerate() {
+            let Some(mut col) = col_slot else { continue };
+            let pos = pos as u32;
+            let keep_left = pos < lo && pos.saturating_add(col.extent) <= lo;
+            let shift_right = pos >= lo + removed;
+            if keep_left {
+                report.columns_reused += 1;
+                self.columns[pos as usize] = Some(col);
+            } else if shift_right {
+                report.columns_reused += 1;
+                col.bias += delta;
+                self.columns[(pos as i64 + delta) as usize] = Some(col);
+            } else {
+                report.columns_invalidated += 1;
+                report.entries_dropped += u64::from(col.count);
+                self.stored -= u64::from(col.count);
+                col.clear();
+                self.spare.push(col);
+            }
+        }
+        report
+    }
+
+    /// Re-shapes the table for a fresh parse of `n_slots` productions over
+    /// `input_len` bytes, recycling every column allocation (the pooling
+    /// half of the session engine). Chunk geometry changes drop the pool.
+    pub fn reset_for(&mut self, n_slots: u32, input_len: u32) {
+        let n_chunks = (n_slots as usize).div_ceil(CHUNK_SIZE).max(1);
+        if n_chunks != self.n_chunks {
+            self.spare.clear();
+            self.n_chunks = n_chunks;
+        }
+        self.n_slots = n_slots;
+        for col_slot in self.columns.iter_mut() {
+            if let Some(mut col) = col_slot.take() {
+                col.clear();
+                self.spare.push(col);
+            }
+        }
+        self.columns.resize_with(input_len as usize + 1, || None);
+        self.stored = 0;
+        self.entries_shifted = 0;
+    }
 }
 
 impl MemoTable for ChunkMemo {
     fn probe(&self, slot: u32, pos: u32) -> Option<&MemoAnswer> {
+        if slot >= self.n_slots {
+            return None;
+        }
         let col = self.columns.get(pos as usize)?.as_ref()?;
+        debug_assert_eq!(
+            col.bias, 0,
+            "column {pos} probed with a pending edit translation; \
+             incremental sessions must use probe_settled"
+        );
         let chunk = col.chunks.get(slot as usize / CHUNK_SIZE)?.as_ref()?;
         chunk[slot as usize % CHUNK_SIZE].as_ref()
     }
 
     fn store(&mut self, slot: u32, pos: u32, answer: MemoAnswer) {
+        if slot >= self.n_slots {
+            // Out-of-range slots previously leaked into the padding cells
+            // of the last chunk; reject them like out-of-range positions.
+            return;
+        }
         let Some(col_slot) = self.columns.get_mut(pos as usize) else {
             return; // out-of-range position: ignore rather than grow
         };
         let col = match col_slot {
             Some(c) => c,
             None => {
-                self.allocated_columns += 1;
-                col_slot.insert(Box::new(Column::new(self.n_chunks)))
+                let col = Self::fresh_column(
+                    &mut self.spare,
+                    self.n_chunks,
+                    &mut self.allocated_columns,
+                );
+                col_slot.insert(col)
             }
         };
+        // A store into a column still carrying an edit translation must
+        // settle it first, or settling later would corrupt this entry.
+        if col.bias != 0 {
+            self.entries_shifted += col.settle();
+        }
         let chunk_idx = slot as usize / CHUNK_SIZE;
         let Some(chunk_slot) = col.chunks.get_mut(chunk_idx) else {
             return;
@@ -206,6 +425,7 @@ impl MemoTable for ChunkMemo {
         let cell = &mut chunk[slot as usize % CHUNK_SIZE];
         if cell.is_none() {
             self.stored += 1;
+            col.count += 1;
         }
         *cell = Some(answer);
     }
@@ -313,5 +533,151 @@ mod tests {
             m.store(0, pos, fail());
         }
         assert!(m.retained_bytes() > before);
+    }
+
+    #[test]
+    fn last_chunk_straddling_slots_roundtrip() {
+        // 25 slots → 3 chunks; the last chunk holds slots 20..24 plus five
+        // padding cells. Every real slot of the partial chunk must work.
+        let n_slots = CHUNK_SIZE as u32 * 2 + 5;
+        let mut m = ChunkMemo::new(n_slots, 10);
+        for slot in 20..n_slots {
+            m.store(slot, 4, success(slot));
+        }
+        for slot in 20..n_slots {
+            assert_eq!(m.probe(slot, 4), Some(&success(slot)));
+        }
+        assert_eq!(m.entries(), 5);
+    }
+
+    #[test]
+    fn out_of_range_slots_in_last_chunk_padding_are_rejected() {
+        // Slots 25..29 fall inside the allocated last chunk but past
+        // n_slots; they used to leak into the padding cells. They must be
+        // ignored exactly like slots past the chunk array.
+        let n_slots = CHUNK_SIZE as u32 * 2 + 5;
+        let mut m = ChunkMemo::new(n_slots, 10);
+        for slot in [n_slots, n_slots + 4, CHUNK_SIZE as u32 * 3, 1000] {
+            m.store(slot, 2, fail());
+            assert_eq!(m.probe(slot, 2), None);
+        }
+        assert_eq!(m.entries(), 0);
+    }
+
+    #[test]
+    fn exact_chunk_multiple_has_no_padding_issues() {
+        let n_slots = CHUNK_SIZE as u32 * 2;
+        let mut m = ChunkMemo::new(n_slots, 5);
+        m.store(n_slots - 1, 0, success(1));
+        assert_eq!(m.probe(n_slots - 1, 0), Some(&success(1)));
+        m.store(n_slots, 0, fail());
+        assert_eq!(m.probe(n_slots, 0), None);
+        assert_eq!(m.entries(), 1);
+    }
+
+    #[test]
+    fn edit_keeps_left_columns_with_small_extents() {
+        let mut m = ChunkMemo::new(5, 20);
+        m.store(0, 2, success(4));
+        m.record_extent(2, 2); // examined [2,4): safely left of the edit
+        m.store(0, 8, success(9));
+        m.record_extent(8, 4); // examined [8,12): overlaps the edit at 10
+        let report = m.apply_edit(10, 3, 5);
+        assert_eq!(report.columns_reused, 1);
+        assert_eq!(report.columns_invalidated, 1);
+        assert_eq!(report.entries_dropped, 1);
+        assert_eq!(m.probe_settled(0, 2), Some(&success(4)));
+        assert_eq!(m.probe_settled(0, 8), None);
+        assert_eq!(m.entries(), 1);
+    }
+
+    #[test]
+    fn edit_shifts_right_columns_and_settles_lazily() {
+        let mut m = ChunkMemo::new(5, 20);
+        m.store(1, 15, MemoAnswer::success(0, 18, Value::Text(Span::new(15, 18))));
+        m.record_extent(15, 3);
+        // Replace [5, 8) with 1 byte: delta = -2.
+        let report = m.apply_edit(5, 3, 1);
+        assert_eq!(report.columns_reused, 1);
+        assert_eq!(m.n_positions(), 19); // 20 - 3 + 1 + 1
+        // The column moved from 15 to 13 and its spans settle on probe.
+        assert_eq!(
+            m.probe_settled(1, 13),
+            Some(&MemoAnswer::success(0, 16, Value::Text(Span::new(13, 16))))
+        );
+        assert_eq!(m.take_entries_shifted(), 1);
+        // Extent survives relocation (it is a length).
+        assert_eq!(m.extent_at(13), 3);
+    }
+
+    #[test]
+    fn edit_at_eof_invalidates_columns_that_peeked_past_the_end() {
+        let mut m = ChunkMemo::new(5, 10);
+        // A `!.` at EOF examines the (absent) byte at 10 → extent 1.
+        m.store(0, 10, success(10));
+        m.record_extent(10, 1);
+        // A column that stopped short of EOF.
+        m.store(0, 3, success(5));
+        m.record_extent(3, 2);
+        // Append 4 bytes at EOF.
+        let report = m.apply_edit(10, 0, 4);
+        // The EOF column moves with the (empty) suffix to the new EOF —
+        // where `.` still fails — and the left column is untouched.
+        assert_eq!(report.columns_reused, 2);
+        assert_eq!(report.columns_invalidated, 0);
+        assert_eq!(m.probe_settled(0, 14).map(|a| a.outcome.as_ref().map(|o| o.0)), Some(Some(14)));
+        assert_eq!(m.probe_settled(0, 3), Some(&success(5)));
+    }
+
+    #[test]
+    fn store_into_unsettled_column_settles_first() {
+        let mut m = ChunkMemo::new(5, 10);
+        m.store(0, 6, MemoAnswer::success(0, 8, Value::Text(Span::new(6, 8))));
+        m.record_extent(6, 2);
+        m.apply_edit(2, 0, 3); // insert 3 bytes: column 6 → 9, bias +3
+        // A store at the relocated column must not be corrupted by the
+        // later settling of the pre-existing entry.
+        m.store(1, 9, MemoAnswer::success(0, 10, Value::Text(Span::new(9, 10))));
+        assert_eq!(
+            m.probe_settled(0, 9),
+            Some(&MemoAnswer::success(0, 11, Value::Text(Span::new(9, 11))))
+        );
+        assert_eq!(
+            m.probe_settled(1, 9),
+            Some(&MemoAnswer::success(0, 10, Value::Text(Span::new(9, 10))))
+        );
+    }
+
+    #[test]
+    fn reset_for_recycles_columns(){
+        let mut m = ChunkMemo::new(10, 50);
+        for pos in 0..30 {
+            m.store(0, pos, fail());
+        }
+        let allocated = m.columns_allocated();
+        m.reset_for(10, 80);
+        assert_eq!(m.entries(), 0);
+        assert_eq!(m.n_positions(), 81);
+        for pos in 0..30 {
+            assert_eq!(m.probe(0, pos), None);
+        }
+        // New stores draw from the recycled pool: no new column allocations.
+        for pos in 0..30 {
+            m.store(0, pos, fail());
+        }
+        assert_eq!(m.columns_allocated(), allocated);
+    }
+
+    #[test]
+    fn edit_report_counts_dropped_entries() {
+        let mut m = ChunkMemo::new(5, 10);
+        m.store(0, 5, fail());
+        m.store(1, 5, fail());
+        m.store(2, 5, success(6));
+        m.record_extent(5, 1);
+        let report = m.apply_edit(5, 1, 1);
+        assert_eq!(report.columns_invalidated, 1);
+        assert_eq!(report.entries_dropped, 3);
+        assert_eq!(m.entries(), 0);
     }
 }

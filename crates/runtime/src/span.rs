@@ -80,6 +80,20 @@ impl Span {
     pub fn contains(self, offset: u32) -> bool {
         self.lo <= offset && offset < self.hi
     }
+
+    /// The span translated by `delta` bytes (used when an edit moves the
+    /// text a memoized result covers).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the translation underflows zero.
+    #[inline]
+    pub fn shifted(self, delta: i64) -> Span {
+        Span::new(
+            (self.lo as i64 + delta) as u32,
+            (self.hi as i64 + delta) as u32,
+        )
+    }
 }
 
 impl fmt::Display for Span {

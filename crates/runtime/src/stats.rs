@@ -54,6 +54,15 @@ pub struct Stats {
     pub terminal_comparisons: u64,
     /// Backtracking events: an alternative failed after consuming input.
     pub backtracks: u64,
+    /// Incremental reparse: memo columns carried over from the previous
+    /// parse (kept in place or relocated with the text).
+    pub memo_columns_reused: u64,
+    /// Incremental reparse: memo columns discarded because their recorded
+    /// lookahead overlapped the edited window.
+    pub memo_columns_invalidated: u64,
+    /// Incremental reparse: carried-over memo entries whose spans were
+    /// translated to post-edit coordinates.
+    pub memo_entries_shifted: u64,
 }
 
 impl Stats {
@@ -88,6 +97,9 @@ impl Stats {
         self.failure_bytes += other.failure_bytes;
         self.terminal_comparisons += other.terminal_comparisons;
         self.backtracks += other.backtracks;
+        self.memo_columns_reused += other.memo_columns_reused;
+        self.memo_columns_invalidated += other.memo_columns_invalidated;
+        self.memo_entries_shifted += other.memo_entries_shifted;
     }
 }
 
@@ -118,7 +130,18 @@ impl fmt::Display for Stats {
             f,
             "work: {} terminal comparisons, {} backtracks",
             self.terminal_comparisons, self.backtracks
-        )
+        )?;
+        if self.memo_columns_reused > 0
+            || self.memo_columns_invalidated > 0
+            || self.memo_entries_shifted > 0
+        {
+            write!(
+                f,
+                "\nincremental: {} columns reused, {} invalidated, {} entries shifted",
+                self.memo_columns_reused, self.memo_columns_invalidated, self.memo_entries_shifted
+            )?;
+        }
+        Ok(())
     }
 }
 

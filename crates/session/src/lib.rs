@@ -1,0 +1,647 @@
+//! # modpeg-session
+//!
+//! Long-lived incremental parse sessions over the modpeg packrat runtime.
+//!
+//! A packrat parser's memo table is a complete record of every
+//! sub-derivation it attempted, keyed by input position. After a small
+//! edit, most of that record is still valid: results entirely left of the
+//! edit never looked at the changed bytes, and results right of it match
+//! the same text at a shifted offset. This crate turns that observation
+//! into three building blocks:
+//!
+//! * [`ParseSession`] — owns a document and a [`ChunkMemo`] that survives
+//!   across edits. [`ParseSession::apply_edit`] splices the text and
+//!   translates the memo table (dropping only columns whose recorded
+//!   lookahead overlapped the edit); the next [`ParseSession::parse`]
+//!   reuses everything that survived.
+//! * [`SessionPool`] — recycles memo-table allocations across documents,
+//!   for callers that parse many inputs one after another.
+//! * [`BatchEngine`] — fans a corpus of documents across worker threads,
+//!   each with its own compiled grammar and session pool.
+//!
+//! Reuse is sound only for pure PEGs: a memoized result of a grammar that
+//! consults parser state (`^=`, `^?`, `^!`) can depend on text far from
+//! the bytes it examined. Sessions detect this via
+//! [`CompiledGrammar::uses_state`] and silently fall back to full
+//! reparses — same trees, no reuse.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::rc::Rc;
+//! use modpeg_interp::{CompiledGrammar, OptConfig};
+//! use modpeg_session::ParseSession;
+//!
+//! let grammar = modpeg_grammars::calc_grammar()?;
+//! let parser = Rc::new(CompiledGrammar::compile(&grammar, OptConfig::incremental())?);
+//! let mut session = ParseSession::new(parser, "1 + 2*3");
+//! let before = session.parse().expect("parses").to_sexpr();
+//!
+//! // Replace "2" with "(4 - 5)" and reparse incrementally.
+//! session.apply_edit(4..5, "(4 - 5)");
+//! assert_eq!(session.text(), "1 + (4 - 5)*3");
+//! let after = session.parse().expect("still parses");
+//! assert_ne!(after.to_sexpr(), before);
+//! # Ok::<(), modpeg_core::Diagnostics>(())
+//! ```
+//!
+//! [`CompiledGrammar::uses_state`]: modpeg_interp::CompiledGrammar::uses_state
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use modpeg_interp::CompiledGrammar;
+use modpeg_runtime::{ChunkMemo, ParseError, Stats, SyntaxTree};
+
+/// An incremental parse session: one document, one memo table, reparsed
+/// after each batch of edits with memoized results reused where sound.
+///
+/// See the [crate docs](crate) for the reuse rules and an example.
+#[derive(Debug)]
+pub struct ParseSession {
+    grammar: Rc<CompiledGrammar>,
+    doc: String,
+    memo: ChunkMemo,
+    /// Whether memo entries may be carried across edits: the grammar is
+    /// stateless and compiled with chunked memoization.
+    reusable: bool,
+    /// Whether `memo` holds entries for the current `doc` (false until the
+    /// first parse and after `set_text`).
+    primed: bool,
+    /// Edit-report counters accumulated since the last parse; folded into
+    /// that parse's stats.
+    pending: Stats,
+    last_stats: Stats,
+    total_stats: Stats,
+}
+
+impl ParseSession {
+    /// Creates a session over `text`.
+    ///
+    /// For memo reuse across edits, compile the grammar with
+    /// [`OptConfig::incremental`] (or at least the `chunks` optimization);
+    /// any other configuration — and any grammar that uses parser state —
+    /// still works but reparses from scratch after every edit.
+    ///
+    /// [`OptConfig::incremental`]: modpeg_interp::OptConfig::incremental
+    pub fn new(grammar: Rc<CompiledGrammar>, text: impl Into<String>) -> Self {
+        let memo = ChunkMemo::new(grammar.memo_slot_count(), 0);
+        Self::with_memo(grammar, text, memo)
+    }
+
+    /// Like [`ParseSession::new`], but reusing the allocations of an
+    /// existing memo table (see [`SessionPool`]). Any entries it holds are
+    /// discarded.
+    pub fn with_memo(
+        grammar: Rc<CompiledGrammar>,
+        text: impl Into<String>,
+        mut memo: ChunkMemo,
+    ) -> Self {
+        let doc = text.into();
+        let reusable = grammar.config().chunks && !grammar.uses_state();
+        memo.reset_for(grammar.memo_slot_count(), doc.len() as u32);
+        ParseSession {
+            grammar,
+            doc,
+            memo,
+            reusable,
+            primed: false,
+            pending: Stats::default(),
+            last_stats: Stats::default(),
+            total_stats: Stats::default(),
+        }
+    }
+
+    /// The current document text.
+    pub fn text(&self) -> &str {
+        &self.doc
+    }
+
+    /// The grammar the session parses with.
+    pub fn grammar(&self) -> &CompiledGrammar {
+        &self.grammar
+    }
+
+    /// Whether this session carries memoized results across edits (pure
+    /// grammar compiled with chunked memoization).
+    pub fn is_incremental(&self) -> bool {
+        self.reusable
+    }
+
+    /// Replaces the bytes `range` of the document with `replacement`,
+    /// updating the carried memo table: columns whose recorded lookahead
+    /// stayed left of the edit are kept, columns right of the removed
+    /// window move with their text, everything else is dropped.
+    ///
+    /// Multiple edits may be applied between parses; later edits use
+    /// post-edit coordinates of the earlier ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds or does not fall on UTF-8
+    /// character boundaries (same contract as [`String::replace_range`]).
+    pub fn apply_edit(&mut self, range: Range<usize>, replacement: &str) {
+        assert!(
+            range.start <= range.end && range.end <= self.doc.len(),
+            "edit {}..{} out of bounds for a document of {} bytes",
+            range.start,
+            range.end,
+            self.doc.len()
+        );
+        self.doc.replace_range(range.clone(), replacement);
+        if self.reusable && self.primed {
+            let report = self.memo.apply_edit(
+                range.start as u32,
+                (range.end - range.start) as u32,
+                replacement.len() as u32,
+            );
+            self.pending.memo_columns_reused += report.columns_reused;
+            self.pending.memo_columns_invalidated += report.columns_invalidated;
+        } else {
+            self.primed = false;
+        }
+    }
+
+    /// Replaces the whole document, discarding all carried memo entries
+    /// (their allocations are kept).
+    pub fn set_text(&mut self, text: impl Into<String>) {
+        self.doc = text.into();
+        self.primed = false;
+    }
+
+    /// Parses the current document, reusing memoized results that
+    /// survived the edits since the previous parse (when sound — see the
+    /// [crate docs](crate)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`ParseError`] a from-scratch parse of the
+    /// current text would, except that inside reused regions the "farthest
+    /// failure" detail can be coarser (those failures were never
+    /// re-explored).
+    pub fn parse(&mut self) -> Result<SyntaxTree, ParseError> {
+        if !self.reusable || !self.primed {
+            // No sound reuse possible: parse against an empty table
+            // (keeping its allocations).
+            self.memo
+                .reset_for(self.grammar.memo_slot_count(), self.doc.len() as u32);
+        }
+        let memo = std::mem::replace(&mut self.memo, ChunkMemo::new(0, 0));
+        let (result, mut stats, memo) = self.grammar.parse_incremental(&self.doc, memo);
+        self.memo = memo;
+        self.primed = true;
+        stats.memo_columns_reused += self.pending.memo_columns_reused;
+        stats.memo_columns_invalidated += self.pending.memo_columns_invalidated;
+        self.pending = Stats::default();
+        self.total_stats.absorb(&stats);
+        self.last_stats = stats;
+        result
+    }
+
+    /// Statistics of the most recent [`ParseSession::parse`], including
+    /// the column reuse/invalidation counts of the edits that preceded it.
+    pub fn last_stats(&self) -> &Stats {
+        &self.last_stats
+    }
+
+    /// Statistics accumulated over every parse of this session.
+    pub fn stats(&self) -> &Stats {
+        &self.total_stats
+    }
+
+    /// Consumes the session, returning its memo table for recycling.
+    pub fn into_memo(self) -> ChunkMemo {
+        self.memo
+    }
+}
+
+/// Recycles memo-table allocations across parse sessions.
+///
+/// Parsing many documents in sequence with fresh sessions pays the memo
+/// table's column and chunk allocations again for every document. A pool
+/// hands the previous session's table (reset, allocations intact) to the
+/// next one.
+///
+/// # Examples
+///
+/// ```
+/// use std::rc::Rc;
+/// use modpeg_interp::{CompiledGrammar, OptConfig};
+/// use modpeg_session::SessionPool;
+///
+/// let grammar = modpeg_grammars::calc_grammar()?;
+/// let parser = Rc::new(CompiledGrammar::compile(&grammar, OptConfig::incremental())?);
+/// let mut pool = SessionPool::new(parser);
+/// for text in ["1+2", "(3-4)*5", "6"] {
+///     let mut session = pool.session(text);
+///     assert!(session.parse().is_ok());
+///     pool.recycle(session);
+/// }
+/// assert_eq!(pool.pooled(), 1);
+/// # Ok::<(), modpeg_core::Diagnostics>(())
+/// ```
+#[derive(Debug)]
+pub struct SessionPool {
+    grammar: Rc<CompiledGrammar>,
+    free: Vec<ChunkMemo>,
+}
+
+impl SessionPool {
+    /// Creates an empty pool for sessions over `grammar`.
+    pub fn new(grammar: Rc<CompiledGrammar>) -> Self {
+        SessionPool {
+            grammar,
+            free: Vec::new(),
+        }
+    }
+
+    /// The grammar pooled sessions parse with.
+    pub fn grammar(&self) -> &Rc<CompiledGrammar> {
+        &self.grammar
+    }
+
+    /// Number of memo tables currently waiting for reuse.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Creates a session over `text`, reusing a pooled memo table when one
+    /// is available.
+    pub fn session(&mut self, text: impl Into<String>) -> ParseSession {
+        match self.free.pop() {
+            Some(memo) => ParseSession::with_memo(self.grammar.clone(), text, memo),
+            None => ParseSession::new(self.grammar.clone(), text),
+        }
+    }
+
+    /// Takes a finished session's memo table back into the pool.
+    pub fn recycle(&mut self, session: ParseSession) {
+        self.free.push(session.into_memo());
+    }
+}
+
+/// Outcome of parsing one document of a [`BatchEngine`] corpus.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Index of the document in the submitted corpus.
+    pub index: usize,
+    /// Whether the document parsed.
+    pub ok: bool,
+    /// The rendered parse error, when it did not.
+    pub error: Option<String>,
+    /// The parse's statistics.
+    pub stats: Stats,
+    /// Document size in bytes.
+    pub bytes: u64,
+}
+
+/// Parses a corpus of documents across worker threads.
+///
+/// Compiled grammars hold shared (non-atomically counted) internals, so
+/// they cannot cross threads; the engine instead takes a *factory* and
+/// compiles one grammar per worker. Each worker draws documents from a
+/// shared queue and parses them through its own [`SessionPool`], so memo
+/// allocations are reused within a thread.
+///
+/// # Examples
+///
+/// ```
+/// use modpeg_interp::{CompiledGrammar, OptConfig};
+/// use modpeg_session::BatchEngine;
+///
+/// let engine = BatchEngine::new(2);
+/// let docs = ["1+2", "3*(4-5)", "not math"];
+/// let results = engine.parse_corpus(
+///     || {
+///         let grammar = modpeg_grammars::calc_grammar().expect("elaborates");
+///         CompiledGrammar::compile(&grammar, OptConfig::all()).expect("compiles")
+///     },
+///     &docs,
+/// );
+/// assert_eq!(results.len(), 3);
+/// assert!(results[0].ok && results[1].ok && !results[2].ok);
+/// # Ok::<(), modpeg_core::Diagnostics>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchEngine {
+    threads: usize,
+}
+
+impl BatchEngine {
+    /// Creates an engine with `threads` workers; `0` means one per
+    /// available CPU.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        BatchEngine { threads }
+    }
+
+    /// The number of worker threads the engine will spawn.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Parses every document of `docs`, returning one [`BatchResult`] per
+    /// document in corpus order. `factory` is called once per worker to
+    /// build its grammar.
+    pub fn parse_corpus<F, S>(&self, factory: F, docs: &[S]) -> Vec<BatchResult>
+    where
+        F: Fn() -> CompiledGrammar + Send + Sync,
+        S: AsRef<str> + Sync,
+    {
+        if docs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.threads.min(docs.len());
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<BatchResult> = Vec::with_capacity(docs.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let grammar = Rc::new(factory());
+                        let mut pool = SessionPool::new(grammar);
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(doc) = docs.get(i) else { break };
+                            let text = doc.as_ref();
+                            let mut session = pool.session(text);
+                            let parsed = session.parse();
+                            out.push(BatchResult {
+                                index: i,
+                                ok: parsed.is_ok(),
+                                error: parsed.err().map(|e| e.to_string()),
+                                stats: session.last_stats().clone(),
+                                bytes: text.len() as u64,
+                            });
+                            pool.recycle(session);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                results.extend(handle.join().expect("batch worker panicked"));
+            }
+        });
+        results.sort_by_key(|r| r.index);
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modpeg_core::{CharClass, Expr as E, Grammar, GrammarBuilder, ProdKind};
+    use modpeg_interp::OptConfig;
+    use modpeg_workload::rng::StdRng;
+
+    fn compile(g: &Grammar) -> Rc<CompiledGrammar> {
+        Rc::new(CompiledGrammar::compile(g, OptConfig::incremental()).unwrap())
+    }
+
+    fn calc() -> Rc<CompiledGrammar> {
+        compile(&modpeg_grammars::calc_grammar().unwrap())
+    }
+
+    #[test]
+    fn edit_then_parse_matches_from_scratch() {
+        let parser = calc();
+        let mut session = ParseSession::new(parser.clone(), "1+2*3+4");
+        assert!(session.parse().is_ok());
+        session.apply_edit(2..3, "(5-6)");
+        assert_eq!(session.text(), "1+(5-6)*3+4");
+        let incremental = session.parse().unwrap().to_sexpr();
+        let scratch = parser.parse(session.text()).unwrap().to_sexpr();
+        assert_eq!(incremental, scratch);
+        let stats = session.last_stats();
+        assert!(stats.memo_columns_reused > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn multiple_edits_between_parses_compose() {
+        let parser = calc();
+        let mut session = ParseSession::new(parser.clone(), "11+22+33+44");
+        assert!(session.parse().is_ok());
+        session.apply_edit(0..2, "9"); // "9+22+33+44"
+        session.apply_edit(2..4, "888"); // "9+888+33+44"
+        session.apply_edit(10..11, ""); // "9+888+33+4"
+        assert_eq!(session.text(), "9+888+33+4");
+        assert_eq!(
+            session.parse().unwrap().to_sexpr(),
+            parser.parse("9+888+33+4").unwrap().to_sexpr()
+        );
+    }
+
+    #[test]
+    fn parse_errors_agree_on_acceptance_after_edits() {
+        let parser = calc();
+        let mut session = ParseSession::new(parser.clone(), "1+2");
+        assert!(session.parse().is_ok());
+        session.apply_edit(1..2, "%"); // "1%2" — no longer a calc expression
+        assert!(session.parse().is_err());
+        session.apply_edit(1..2, "*");
+        assert_eq!(session.text(), "1*2");
+        assert!(session.parse().is_ok());
+    }
+
+    #[test]
+    fn random_edit_scripts_agree_with_scratch_parses() {
+        let parser = calc();
+        let mut failures_checked = 0u32;
+        for seed in 0..24u64 {
+            let mut rng = StdRng::seed_from_u64(0xE417 ^ seed);
+            let doc = modpeg_workload::calc_expression(seed, 160);
+            let mut session = ParseSession::new(parser.clone(), doc);
+            session.parse().unwrap();
+            for _ in 0..6 {
+                let len = session.text().len();
+                let lo = rng.gen_range(0..=len);
+                let hi = rng.gen_range(lo..=len.min(lo + 8));
+                let insert: String = (0..rng.gen_range(0usize..4))
+                    .map(|_| {
+                        let options = b"0123456789+-*() ";
+                        options[rng.gen_range(0..options.len())] as char
+                    })
+                    .collect();
+                session.apply_edit(lo..hi, &insert);
+                let incremental = session.parse();
+                let scratch = parser.parse(session.text());
+                assert_eq!(
+                    incremental.is_ok(),
+                    scratch.is_ok(),
+                    "seed {seed}: acceptance diverged on {:?}",
+                    session.text()
+                );
+                match (incremental, scratch) {
+                    (Ok(a), Ok(b)) => assert_eq!(
+                        a.to_sexpr(),
+                        b.to_sexpr(),
+                        "seed {seed}: trees diverged on {:?}",
+                        session.text()
+                    ),
+                    _ => failures_checked += 1,
+                }
+            }
+        }
+        // The edit script must exercise both accepted and rejected texts.
+        assert!(failures_checked > 0);
+    }
+
+    fn typedef_grammar() -> Grammar {
+        // Decl defines a name; Use only matches defined names. An edit to
+        // a Decl changes the meaning of distant Uses — the session must
+        // not reuse memoized results across it.
+        let lc = || E::Class(CharClass::from_ranges(vec![('a', 'z')], false));
+        let mut b = GrammarBuilder::new("m");
+        b.production(
+            "Prog",
+            ProdKind::Node,
+            vec![(Some("P".into()), E::Plus(Box::new(E::Ref("Item".into()))))],
+        );
+        b.production(
+            "Item",
+            ProdKind::Node,
+            vec![
+                (
+                    Some("Decl".into()),
+                    E::seq(vec![
+                        E::literal("def "),
+                        E::StateDefine(Box::new(E::Ref("Name".into()))),
+                        E::literal(";"),
+                    ]),
+                ),
+                (
+                    Some("Use".into()),
+                    E::seq(vec![
+                        E::StateIsDef(Box::new(E::Ref("Name".into()))),
+                        E::literal(";"),
+                    ]),
+                ),
+            ],
+        );
+        b.production(
+            "Name",
+            ProdKind::Text,
+            vec![(None, E::Capture(Box::new(E::Plus(Box::new(lc())))))],
+        );
+        b.build("Prog").unwrap()
+    }
+
+    #[test]
+    fn stateful_grammar_falls_back_to_full_reparses() {
+        let parser = compile(&typedef_grammar());
+        assert!(parser.uses_state());
+        let mut session = ParseSession::new(parser.clone(), "def foo;foo;foo;");
+        assert!(!session.is_incremental());
+        assert!(session.parse().is_ok());
+        // Renaming the declaration invalidates the *distant* uses even
+        // though their bytes never changed; a session that reused their
+        // memo entries would wrongly accept this text.
+        session.apply_edit(4..7, "bar");
+        assert_eq!(session.text(), "def bar;foo;foo;");
+        assert!(session.parse().is_err());
+        assert_eq!(session.last_stats().memo_columns_reused, 0);
+        // And an edit that fixes the uses is picked up too.
+        session.apply_edit(8..16, "bar;");
+        assert_eq!(session.text(), "def bar;bar;");
+        assert!(session.parse().is_ok());
+    }
+
+    #[test]
+    fn non_chunk_config_still_works_without_reuse() {
+        let g = modpeg_grammars::calc_grammar().unwrap();
+        let cfg = OptConfig::all_except("chunks").unwrap();
+        let parser = Rc::new(CompiledGrammar::compile(&g, cfg).unwrap());
+        let mut session = ParseSession::new(parser, "1+2");
+        assert!(!session.is_incremental());
+        assert!(session.parse().is_ok());
+        session.apply_edit(0..1, "7");
+        assert!(session.parse().is_ok());
+        assert_eq!(session.last_stats().memo_columns_reused, 0);
+    }
+
+    #[test]
+    fn set_text_discards_carried_entries() {
+        let parser = calc();
+        let mut session = ParseSession::new(parser.clone(), "1+2");
+        assert!(session.parse().is_ok());
+        session.set_text("((((3))))");
+        let t = session.parse().unwrap();
+        assert_eq!(t.to_sexpr(), parser.parse("((((3))))").unwrap().to_sexpr());
+        assert_eq!(session.last_stats().memo_columns_reused, 0);
+    }
+
+    #[test]
+    fn pool_recycles_memo_allocations() {
+        let parser = calc();
+        let mut pool = SessionPool::new(parser);
+        let mut session = pool.session("(1+2)*(3+4)");
+        assert!(session.parse().is_ok());
+        let allocated_before = session.last_stats().memo_bytes;
+        assert!(allocated_before > 0);
+        pool.recycle(session);
+        assert_eq!(pool.pooled(), 1);
+        let mut session = pool.session("(5+6)*(7+8)");
+        assert!(session.parse().is_ok());
+        pool.recycle(session);
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn batch_engine_parses_corpus_in_order() {
+        let docs: Vec<String> = (0..17)
+            .map(|i| {
+                if i % 5 == 4 {
+                    format!("{i}+") // deliberately malformed
+                } else {
+                    modpeg_workload::calc_expression(i as u64, 120)
+                }
+            })
+            .collect();
+        for threads in [1, 3] {
+            let engine = BatchEngine::new(threads);
+            assert_eq!(engine.threads(), threads);
+            let results = engine.parse_corpus(
+                || {
+                    let g = modpeg_grammars::calc_grammar().unwrap();
+                    CompiledGrammar::compile(&g, OptConfig::all()).expect("compiles")
+                },
+                &docs,
+            );
+            assert_eq!(results.len(), docs.len());
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(r.index, i);
+                assert_eq!(r.ok, i % 5 != 4, "doc {i}");
+                assert_eq!(r.error.is_some(), !r.ok);
+                assert_eq!(r.bytes, docs[i].len() as u64);
+                assert!(r.stats.productions_evaluated > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_engine_zero_threads_uses_available_parallelism() {
+        let engine = BatchEngine::new(0);
+        assert!(engine.threads() >= 1);
+        assert!(engine
+            .parse_corpus(
+                || {
+                    CompiledGrammar::compile(
+                        &modpeg_grammars::calc_grammar().unwrap(),
+                        OptConfig::all(),
+                    )
+                    .unwrap()
+                },
+                &Vec::<String>::new(),
+            )
+            .is_empty());
+    }
+}

@@ -2,9 +2,7 @@
 
 use std::fmt::Write as _;
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
+use crate::rng::StdRng;
 use crate::rng_for;
 
 const WORDS: &[&str] = &[

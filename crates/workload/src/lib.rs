@@ -15,13 +15,13 @@
 mod c;
 mod java;
 mod json;
+pub mod rng;
 
 pub use c::c_program;
 pub use java::{java_extended_program, java_program};
 pub use json::json_document;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::StdRng;
 
 /// A deterministic arithmetic expression for the calculator grammar,
 /// roughly `target_bytes` long.

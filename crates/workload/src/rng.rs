@@ -1,0 +1,151 @@
+//! A small, self-contained deterministic PRNG.
+//!
+//! The workload generators only need reproducible streams with uniform
+//! integer sampling, so instead of depending on the `rand` crate (which
+//! the build environment cannot always fetch) we vendor a SplitMix64
+//! generator behind the same method names the generators were written
+//! against (`seed_from_u64`, `gen_range`, `gen_ratio`).
+//!
+//! SplitMix64 passes BigCrush, is seedable from a single `u64`, and its
+//! output is fully determined by the seed — which is the only property the
+//! experiments rely on (identical seeds ⇒ identical corpora).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator; drop-in for the subset of `rand::rngs::StdRng`
+/// the workload generators use. Note the streams differ from `rand`'s —
+/// corpora generated before the switch are not byte-identical, only
+/// statistically equivalent.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Seeds the generator from a single word.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+
+    /// Next raw 64-bit output (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample from an integer range (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T: UniformInt, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.bounds(); // half-open [lo, hi)
+        assert!(lo < hi, "gen_range called with empty range");
+        let span = (hi - lo) as u128;
+        // Modulo bias is negligible for the tiny spans the generators use
+        // (and irrelevant to their purpose).
+        let offset = (self.next_u64() as u128 % span) as i128;
+        T::from_i128(lo + offset)
+    }
+
+    /// Returns `true` with probability `num/den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn gen_ratio(&mut self, num: u32, den: u32) -> bool {
+        assert!(den > 0, "gen_ratio needs a positive denominator");
+        self.next_u64() % u64::from(den) < u64::from(num)
+    }
+
+    /// Fair coin.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Range shapes [`StdRng::gen_range`] accepts, normalized to half-open
+/// `[lo, hi)` bounds in the `i128` widening domain.
+pub trait SampleRange<T: UniformInt> {
+    /// Returns the `(lo, hi)` half-open bounds.
+    fn bounds(self) -> (i128, i128);
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn bounds(self) -> (i128, i128) {
+        (self.start.to_i128(), self.end.to_i128())
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn bounds(self) -> (i128, i128) {
+        let (start, end) = self.into_inner();
+        (start.to_i128(), end.to_i128() + 1)
+    }
+}
+
+/// Integer types [`StdRng::gen_range`] can sample.
+pub trait UniformInt: Copy {
+    /// Widens to a common signed type.
+    fn to_i128(self) -> i128;
+    /// Narrows back; the value is guaranteed in range by construction.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let s = r.gen_range(-5i32..5);
+            assert!((-5..5).contains(&s));
+            let u = r.gen_range(0usize..1);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn ratio_is_plausible() {
+        let mut r = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.gen_ratio(1, 4)).count();
+        assert!((2_000..3_000).contains(&hits), "{hits}");
+        assert!((0..100).all(|_| r.gen_ratio(1, 1)));
+        let mut r2 = StdRng::seed_from_u64(9);
+        assert!((0..100).all(|_| !r2.gen_ratio(0, 3)));
+    }
+}

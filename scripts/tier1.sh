@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 verification (see ROADMAP.md): release build + full test suite.
+# Fully offline — the workspace has no external dependencies, so this
+# works without network access or a pre-populated cargo registry.
+#
+# Usage: scripts/tier1.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== tier-1: OK =="

@@ -56,6 +56,7 @@
 //! | [`interp`] | optimization-flagged interpreter ([`OptConfig`]) |
 //! | [`codegen`] | Rust parser generation (what `Rats!` does for Java) |
 //! | [`grammars`] | grammar library: calc, JSON, Java subset + extensions, SQL, C subset |
+//! | [`session`] | incremental parse sessions: memo reuse across edits, pooling, batch parsing |
 //!
 //! The evaluation harness lives in `modpeg-bench` (see `EXPERIMENTS.md`).
 
@@ -66,11 +67,13 @@ pub use modpeg_core as core;
 pub use modpeg_grammars as grammars;
 pub use modpeg_interp as interp;
 pub use modpeg_runtime as runtime;
+pub use modpeg_session as session;
 pub use modpeg_syntax as syntax;
 
 pub use modpeg_core::{Diagnostic, Diagnostics, Grammar, GrammarBuilder, ModuleSet};
 pub use modpeg_interp::{CompiledGrammar, OptConfig};
 pub use modpeg_runtime::{ParseError, SyntaxTree, Value};
+pub use modpeg_session::{BatchEngine, ParseSession, SessionPool};
 
 /// One-call convenience: parse grammar-module sources, elaborate from
 /// `root` (optionally with start production `start`), and compile a fully
@@ -122,4 +125,5 @@ pub mod prelude {
     pub use modpeg_core::{Diagnostics, Grammar, GrammarBuilder, ModuleSet, ProdKind};
     pub use modpeg_interp::{CompiledGrammar, OptConfig};
     pub use modpeg_runtime::{Node, NodeKind, ParseError, SyntaxTree, Value};
+    pub use modpeg_session::{BatchEngine, ParseSession, SessionPool};
 }
