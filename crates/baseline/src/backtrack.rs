@@ -39,6 +39,10 @@ struct Run<'g, 'i> {
     input: Input<'i>,
     state: ScopedState,
     farthest: u32,
+    /// Failure recording is suppressed inside predicates, matching the
+    /// interpreter: a predicate's internal failures are speculation, not
+    /// expectations at its position (found by the conformance harness).
+    suppress: u32,
     /// Expression evaluations — the work counter the experiments report.
     steps: u64,
 }
@@ -69,6 +73,7 @@ impl<'g> BacktrackParser<'g> {
             input: Input::new(input),
             state: ScopedState::new(),
             farthest: 0,
+            suppress: 0,
             steps: 0,
         };
         let outcome = match run.eval_prod(self.grammar.root(), 0) {
@@ -82,7 +87,7 @@ impl<'g> BacktrackParser<'g> {
 
 impl<'g, 'i> Run<'g, 'i> {
     fn fail(&mut self, pos: u32) -> Option<u32> {
-        if pos > self.farthest {
+        if self.suppress == 0 && pos > self.farthest {
             self.farthest = pos;
         }
         None
@@ -206,13 +211,17 @@ impl<'g, 'i> Run<'g, 'i> {
             }
             Expr::And(e) => {
                 let mark = self.state.mark();
+                self.suppress += 1;
                 let r = self.eval(e, pos);
+                self.suppress -= 1;
                 self.state.rollback(mark);
                 r.map(|_| pos)
             }
             Expr::Not(e) => {
                 let mark = self.state.mark();
+                self.suppress += 1;
                 let r = self.eval(e, pos);
+                self.suppress -= 1;
                 self.state.rollback(mark);
                 match r {
                     Some(_) => None,
@@ -304,6 +313,21 @@ mod tests {
         let (r16, w16) = p.recognize_counting(&"a".repeat(16));
         assert!(r10.is_err() && r16.is_err());
         assert!(w16 > w10 * 8, "w10={w10}, w16={w16}");
+    }
+
+    #[test]
+    fn predicate_failures_do_not_move_the_farthest_mark() {
+        // `ab` matches A, then `!C` peeks `cd` and fails one char in; that
+        // speculative progress must not count as the farthest failure.
+        let g = grammar("module m; public P = \"ab\" !(\"cd\") \"x\" !. ;", "m");
+        let p = BacktrackParser::new(&g);
+        assert!(p.recognize("abx").is_ok());
+        // `abq`: `!(\"cd\")` passes, then `\"x\"` fails at 2.
+        assert_eq!(p.recognize("abq").unwrap_err(), 2);
+        // `abcq`: the predicate peek matches `c` before failing on `q`, but
+        // the reportable failure is still `\"x\"` at offset 2, not the
+        // speculative offset 3 inside the predicate.
+        assert_eq!(p.recognize("abcq").unwrap_err(), 2);
     }
 
     #[test]

@@ -6,12 +6,14 @@
 //! modpeg parse  <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--stats]
 //! modpeg gen    <grammar.mpeg>... --root <module> [--start <prod>] [--out <file.rs>]
 //! modpeg session-bench <grammar.mpeg>... --root <module> --input <file> [--edits <n>]
+//! modpeg fuzz [--grammar calc|json|java|c|all] [--seeds <n>] [--engines <list>] [--smoke]
 //! ```
 
 use std::process::ExitCode;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
+use modpeg_conformance::{fuzz_grammar, EngineSet, FuzzConfig, GrammarId};
 use modpeg_core::Grammar;
 use modpeg_interp::{CompiledGrammar, OptConfig};
 use modpeg_session::ParseSession;
@@ -24,6 +26,10 @@ struct Args {
     input: Option<String>,
     out: Option<String>,
     edits: usize,
+    seeds: Option<u64>,
+    grammar: Option<String>,
+    engines: Option<String>,
+    smoke: bool,
     dump: bool,
     stats: bool,
     trace: bool,
@@ -38,7 +44,8 @@ fn usage() -> &'static str {
      modpeg parse <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--stats] [--trace]\n  \
      modpeg coverage <grammar.mpeg>... --root <module> [--start <prod>] --input <file>\n  \
      modpeg gen   <grammar.mpeg>... --root <module> [--start <prod>] [--out <file.rs>]\n  \
-     modpeg session-bench <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--edits <n>]"
+     modpeg session-bench <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--edits <n>]\n  \
+     modpeg fuzz [--grammar calc|json|java|c|all] [--seeds <n>] [--engines opt-levels,baseline,codegen,incremental] [--smoke]"
 }
 
 fn parse_args(argv: Vec<String>) -> Result<Args, String> {
@@ -52,6 +59,10 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         input: None,
         out: None,
         edits: 10,
+        seeds: None,
+        grammar: None,
+        engines: None,
+        smoke: false,
         dump: false,
         stats: false,
         trace: false,
@@ -69,6 +80,17 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--edits: {e}"))?;
             }
+            "--seeds" => {
+                args.seeds = Some(
+                    it.next()
+                        .ok_or("--seeds needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--seeds: {e}"))?,
+                );
+            }
+            "--grammar" => args.grammar = Some(it.next().ok_or("--grammar needs a value")?),
+            "--engines" => args.engines = Some(it.next().ok_or("--engines needs a value")?),
+            "--smoke" => args.smoke = true,
             "--dump" => args.dump = true,
             "--stats" => args.stats = true,
             "--trace" => args.trace = true,
@@ -76,7 +98,8 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
-    if args.files.is_empty() {
+    // `fuzz` works on built-in grammars; everything else reads .mpeg files.
+    if args.files.is_empty() && args.command != "fuzz" {
         return Err(format!("no grammar files given\n{}", usage()));
     }
     Ok(args)
@@ -317,6 +340,60 @@ fn cmd_session_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fuzz(args: &Args) -> Result<(), String> {
+    let grammars: Vec<GrammarId> = match args.grammar.as_deref() {
+        None | Some("all") => GrammarId::ALL.to_vec(),
+        Some(name) => vec![GrammarId::from_name(name).ok_or_else(|| {
+            format!("unknown grammar `{name}` (expected calc, json, java, c, or all)")
+        })?],
+    };
+    let mut cfg = if args.smoke {
+        FuzzConfig::smoke()
+    } else {
+        FuzzConfig::default()
+    };
+    if let Some(seeds) = args.seeds {
+        if seeds == 0 {
+            return Err("--seeds must be at least 1".to_owned());
+        }
+        cfg.seeds = seeds;
+    }
+    if let Some(list) = &args.engines {
+        cfg.engines = EngineSet::from_list(list)?;
+    }
+
+    let mut total_divergences = 0usize;
+    for id in grammars {
+        let t = Instant::now();
+        let report = fuzz_grammar(id, &cfg)?;
+        println!(
+            "{:<5} {:>6} inputs ({} accepted, {} rejected), {} edit scripts, \
+             coverage {:>5.1}%, {} divergence(s) [{:.2} s, engines: {}]",
+            report.grammar,
+            report.inputs_tested,
+            report.accepted,
+            report.rejected,
+            report.edit_scripts_replayed,
+            report.coverage_ratio * 100.0,
+            report.divergences.len(),
+            t.elapsed().as_secs_f64(),
+            report.engines.join(","),
+        );
+        for d in &report.divergences {
+            total_divergences += 1;
+            eprintln!("\ndivergence on {} input {:?}", d.grammar, d.input);
+            eprintln!("  (found as {:?})", d.original_input);
+            eprintln!("  {}", d.detail);
+            eprintln!("suggested regression test:\n{}", d.regression_test);
+        }
+    }
+    if total_divergences > 0 {
+        return Err(format!("{total_divergences} divergence(s) found"));
+    }
+    println!("all engines agree");
+    Ok(())
+}
+
 fn cmd_gen(args: &Args) -> Result<(), String> {
     let grammar = load_grammar(args)?;
     let doc = format!("Generated from {}", args.files.join(", "));
@@ -349,6 +426,7 @@ fn main() -> ExitCode {
         "coverage" => cmd_coverage(&args),
         "gen" => cmd_gen(&args),
         "session-bench" => cmd_session_bench(&args),
+        "fuzz" => cmd_fuzz(&args),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     };
     match result {
@@ -402,6 +480,21 @@ mod tests {
         }
         assert!(doc.bytes().any(|c| c.is_ascii_digit()));
         assert!(digit_edit_script("no numbers here", 3).is_none());
+    }
+
+    #[test]
+    fn parses_fuzz_flags_without_files() {
+        let a = parse_args(argv("fuzz --grammar json --seeds 50 --engines opt-levels,codegen"))
+            .unwrap();
+        assert_eq!(a.command, "fuzz");
+        assert!(a.files.is_empty());
+        assert_eq!(a.grammar.as_deref(), Some("json"));
+        assert_eq!(a.seeds, Some(50));
+        assert_eq!(a.engines.as_deref(), Some("opt-levels,codegen"));
+        let b = parse_args(argv("fuzz --smoke")).unwrap();
+        assert!(b.smoke && b.seeds.is_none());
+        // Every other command still requires grammar files.
+        assert!(parse_args(argv("check --dump")).is_err());
     }
 
     #[test]

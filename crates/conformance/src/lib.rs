@@ -1,0 +1,506 @@
+//! # modpeg-conformance — differential conformance harness
+//!
+//! The project carries five independent ways of answering "does this
+//! grammar accept this input, and with what tree": the interpreter at
+//! seventeen cumulative optimization levels, the incremental-session
+//! configuration, the build-time generated parsers, the structure-faithful
+//! backtracking recognizer, and incremental reparses over edited
+//! documents. They are supposed to be *observationally identical*. This
+//! crate turns that claim into an executable oracle:
+//!
+//! 1. [`gen`] — grammar-aware sentence generation, depth-budgeted by the
+//!    shortest-derivation-height analysis and biased toward grammar
+//!    alternatives the corpus has not covered yet;
+//! 2. [`mutate`] — corruption of valid sentences to probe the
+//!    almost-valid boundary where error paths diverge first;
+//! 3. [`oracle`] — the cross-engine differential check itself, including
+//!    random edit-script replay with memo-table invariant checking;
+//! 4. [`shrink`] — DDmin minimization of any diverging input, emitted as
+//!    a ready-to-paste regression test.
+//!
+//! The CLI front end is `modpeg fuzz` (see `crates/cli`); deterministic
+//! seeds make every run reproducible.
+
+pub mod gen;
+pub mod mutate;
+pub mod oracle;
+pub mod shrink;
+
+pub use gen::{GenConfig, Generator};
+pub use mutate::mutate;
+pub use oracle::{EngineSet, Oracle};
+pub use shrink::ddmin;
+
+use modpeg_core::Grammar;
+use modpeg_interp::{CompiledGrammar, OptConfig};
+use modpeg_runtime::{ParseError, SyntaxTree};
+use modpeg_workload::rng::StdRng;
+
+/// The named grammars the harness can fuzz (those with build-time
+/// generated parsers and workload generators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrammarId {
+    /// The calculator expression grammar.
+    Calc,
+    /// The JSON grammar.
+    Json,
+    /// The Java-subset grammar.
+    Java,
+    /// The C-subset grammar (stateful: typedef tracking).
+    C,
+}
+
+impl GrammarId {
+    /// Every fuzzable grammar, in reporting order.
+    pub const ALL: [GrammarId; 4] = [
+        GrammarId::Calc,
+        GrammarId::Json,
+        GrammarId::Java,
+        GrammarId::C,
+    ];
+
+    /// The CLI-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GrammarId::Calc => "calc",
+            GrammarId::Json => "json",
+            GrammarId::Java => "java",
+            GrammarId::C => "c",
+        }
+    }
+
+    /// Resolves a CLI-facing name.
+    pub fn from_name(name: &str) -> Option<GrammarId> {
+        GrammarId::ALL.iter().copied().find(|g| g.name() == name)
+    }
+
+    /// Elaborates the grammar from its module sources.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration diagnostics as a rendered string.
+    pub fn elaborate(self) -> Result<Grammar, String> {
+        match self {
+            GrammarId::Calc => modpeg_grammars::calc_grammar(),
+            GrammarId::Json => modpeg_grammars::json_grammar(),
+            GrammarId::Java => modpeg_grammars::java_grammar(),
+            GrammarId::C => modpeg_grammars::c_grammar(),
+        }
+        .map_err(|d| d.to_string())
+    }
+
+    /// Runs the build-time generated parser for this grammar.
+    pub fn codegen_parse(self, input: &str) -> Result<SyntaxTree, ParseError> {
+        use modpeg_grammars::generated as g;
+        match self {
+            GrammarId::Calc => g::calc::parse(input),
+            GrammarId::Json => g::json::parse(input),
+            GrammarId::Java => g::java::parse(input),
+            GrammarId::C => g::c::parse(input),
+        }
+    }
+
+    /// A grammar-appropriate workload document (seed corpus entry) of
+    /// roughly `target_bytes`.
+    pub fn workload(self, seed: u64, target_bytes: usize) -> String {
+        match self {
+            GrammarId::Calc => modpeg_workload::calc_expression(seed, target_bytes),
+            GrammarId::Json => modpeg_workload::json_document(seed, target_bytes),
+            GrammarId::Java => modpeg_workload::java_program(seed, target_bytes),
+            GrammarId::C => modpeg_workload::c_program(seed, target_bytes),
+        }
+    }
+}
+
+/// One full fuzzing campaign's knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Number of generated seed sentences.
+    pub seeds: u64,
+    /// Engines the oracle consults.
+    pub engines: EngineSet,
+    /// Sentence generation tuning.
+    pub gen: GenConfig,
+    /// Corrupted copies derived from each valid seed sentence.
+    pub mutants_per_seed: u32,
+    /// One random edit script is replayed per this many seeds (scripts
+    /// are the most expensive check); `0` disables edit replay.
+    pub edit_script_stride: u64,
+    /// Base RNG seed; identical configs reproduce identical campaigns.
+    pub rng_seed: u64,
+    /// Shrink budget (oracle invocations) per divergence.
+    pub shrink_budget: usize,
+    /// Stop collecting after this many distinct divergences per grammar.
+    pub max_divergences: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seeds: 200,
+            engines: EngineSet::all(),
+            gen: GenConfig::default(),
+            mutants_per_seed: 2,
+            edit_script_stride: 8,
+            rng_seed: 0x5EED,
+            shrink_budget: 400,
+            max_divergences: 5,
+        }
+    }
+}
+
+impl FuzzConfig {
+    /// The deterministic CI smoke preset: small but exercises every
+    /// engine, both mutation and edit replay, on every grammar.
+    pub fn smoke() -> Self {
+        FuzzConfig {
+            seeds: 30,
+            mutants_per_seed: 1,
+            edit_script_stride: 6,
+            ..FuzzConfig::default()
+        }
+    }
+}
+
+/// One minimized cross-engine divergence.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The grammar it occurred on.
+    pub grammar: &'static str,
+    /// The minimized input.
+    pub input: String,
+    /// The input as originally found (before shrinking).
+    pub original_input: String,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+    /// Edit-script seed when the divergence is in the incremental
+    /// machinery (`None` for scratch-parse divergences).
+    pub edit_seed: Option<u64>,
+    /// A ready-to-paste `#[test]` reproducing the divergence.
+    pub regression_test: String,
+}
+
+/// Summary of one grammar's fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// The grammar fuzzed.
+    pub grammar: &'static str,
+    /// Engines consulted.
+    pub engines: Vec<&'static str>,
+    /// Total inputs checked (seeds + mutants + corpus).
+    pub inputs_tested: u64,
+    /// Inputs the reference engine accepted.
+    pub accepted: u64,
+    /// Inputs the reference engine rejected.
+    pub rejected: u64,
+    /// Grammar-alternative coverage of the accepted corpus, in `[0, 1]`.
+    pub coverage_ratio: f64,
+    /// Random edit scripts replayed through the incremental engines.
+    pub edit_scripts_replayed: u64,
+    /// Divergences found (already minimized).
+    pub divergences: Vec<Divergence>,
+}
+
+impl FuzzReport {
+    /// `true` when every engine agreed on every input.
+    pub fn clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// Runs one fuzzing campaign over `id`.
+///
+/// # Errors
+///
+/// Fails only on grammar elaboration/compilation problems; divergences are
+/// reported in the returned [`FuzzReport`], not as errors.
+pub fn fuzz_grammar(id: GrammarId, cfg: &FuzzConfig) -> Result<FuzzReport, String> {
+    let grammar = id.elaborate()?;
+    let oracle = Oracle::new(&grammar, Some(id), cfg.engines)?;
+    // Coverage must come from an unoptimized compile so alternative
+    // indices align with the elaborated grammar (see `Generator::set_bias`).
+    let coverage_parser = CompiledGrammar::compile(&grammar, OptConfig::none())
+        .map_err(|e| e.to_string())?;
+    let mut generator = Generator::new(&grammar);
+    let mut rng = StdRng::seed_from_u64(cfg.rng_seed ^ fnv1a(id.name().as_bytes()));
+
+    let mut report = FuzzReport {
+        grammar: id.name(),
+        engines: cfg.engines.names(),
+        inputs_tested: 0,
+        accepted: 0,
+        rejected: 0,
+        coverage_ratio: 0.0,
+        edit_scripts_replayed: 0,
+        divergences: Vec::new(),
+    };
+    let mut coverage: Option<modpeg_interp::Coverage> = None;
+
+    // A small corpus of realistic documents rides along with the
+    // generated sentences: workload programs plus hand-picked edge cases.
+    let corpus: Vec<String> = (0..3)
+        .map(|i| id.workload(cfg.rng_seed.wrapping_add(i), 220))
+        .chain(EDGE_CORPUS.iter().map(|s| (*s).to_owned()))
+        .collect();
+    for (i, doc) in corpus.iter().enumerate() {
+        check_one(&oracle, doc, None, id, cfg, &mut report);
+        if report.divergences.len() >= cfg.max_divergences {
+            break;
+        }
+        if cfg.edit_script_stride != 0 && i < 3 {
+            report.edit_scripts_replayed += 1;
+            check_one(&oracle, doc, Some(i as u64), id, cfg, &mut report);
+        }
+    }
+
+    for seed_no in 0..cfg.seeds {
+        if report.divergences.len() >= cfg.max_divergences {
+            break;
+        }
+        let sentence = generator.generate(&mut rng, &cfg.gen);
+        check_one(&oracle, &sentence, None, id, cfg, &mut report);
+
+        // Track coverage of accepted sentences and refresh the bias so
+        // later seeds chase cold alternatives.
+        let (result, cov) = coverage_parser.parse_with_coverage(&sentence);
+        if result.is_ok() {
+            match &mut coverage {
+                Some(total) => total.absorb(&cov),
+                None => coverage = Some(cov),
+            }
+            if seed_no % 16 == 15 {
+                if let Some(total) = &coverage {
+                    generator.set_bias(total);
+                }
+            }
+        }
+
+        for _ in 0..cfg.mutants_per_seed {
+            let mutant = mutate(&sentence, &mut rng);
+            check_one(&oracle, &mutant, None, id, cfg, &mut report);
+        }
+
+        if cfg.edit_script_stride != 0 && seed_no % cfg.edit_script_stride == 0 {
+            report.edit_scripts_replayed += 1;
+            check_one(&oracle, &sentence, Some(seed_no), id, cfg, &mut report);
+        }
+    }
+
+    report.coverage_ratio = coverage.as_ref().map_or(0.0, modpeg_interp::Coverage::ratio);
+    Ok(report)
+}
+
+/// Hand-picked boundary inputs every campaign includes regardless of the
+/// generator, mirroring `crates/interp/tests/edge_cases.rs`: empty input,
+/// whitespace-only, lone tokens, unbalanced nesting, a NUL-adjacent
+/// control character, and multi-byte scalars at failure positions.
+const EDGE_CORPUS: &[&str] = &[
+    "",
+    " ",
+    "\n\n",
+    "(",
+    ")",
+    "{}",
+    "[",
+    "\"",
+    "0",
+    ";",
+    "\u{1}",
+    "((((((((((",
+    "αβγ→δε",
+    "1 + α",
+];
+
+/// Runs one input (scratch check or edit-script check) and folds any
+/// divergence — minimized — into the report.
+fn check_one(
+    oracle: &Oracle<'_>,
+    input: &str,
+    edit_seed: Option<u64>,
+    id: GrammarId,
+    cfg: &FuzzConfig,
+    report: &mut FuzzReport,
+) {
+    let detail = match edit_seed {
+        None => {
+            report.inputs_tested += 1;
+            let d = oracle.check(input);
+            if d.is_none() {
+                if oracle.reference().parse(input).is_ok() {
+                    report.accepted += 1;
+                } else {
+                    report.rejected += 1;
+                }
+            }
+            d
+        }
+        Some(seed) => oracle.check_edits(input, seed),
+    };
+    let Some(detail) = detail else { return };
+    let minimized = match edit_seed {
+        None => ddmin(input, |s| oracle.check(s).is_some(), cfg.shrink_budget),
+        Some(seed) => ddmin(
+            input,
+            |s| oracle.check_edits(s, seed).is_some(),
+            cfg.shrink_budget,
+        ),
+    };
+    // Re-derive the detail on the minimized input (shrinking can shift it).
+    let final_detail = match edit_seed {
+        None => oracle.check(&minimized),
+        Some(seed) => oracle.check_edits(&minimized, seed),
+    }
+    .unwrap_or(detail);
+    if report
+        .divergences
+        .iter()
+        .any(|d| d.input == minimized && d.edit_seed == edit_seed)
+    {
+        return;
+    }
+    let regression_test = regression_snippet(id, &minimized, edit_seed, &final_detail);
+    report.divergences.push(Divergence {
+        grammar: id.name(),
+        input: minimized,
+        original_input: input.to_owned(),
+        detail: final_detail,
+        edit_seed,
+        regression_test,
+    });
+}
+
+/// Asserts that every engine agrees on `input` for the named grammar.
+///
+/// This is the function minimized regression tests call; keeping it in the
+/// library means a committed reproduction stays one line long.
+///
+/// # Panics
+///
+/// Panics with the divergence description when any engine disagrees.
+pub fn assert_engines_agree(grammar: &str, input: &str) {
+    let id = GrammarId::from_name(grammar)
+        .unwrap_or_else(|| panic!("unknown grammar {grammar:?}"));
+    let g = id.elaborate().expect("grammar elaborates");
+    let oracle = Oracle::new(&g, Some(id), EngineSet::all()).expect("engines compile");
+    if let Some(detail) = oracle.check(input) {
+        panic!("engines diverge on {input:?}: {detail}");
+    }
+}
+
+/// Asserts that the incremental engines agree with from-scratch parses
+/// across the edit script derived from `seed` — the edit-replay analogue
+/// of [`assert_engines_agree`].
+///
+/// # Panics
+///
+/// Panics with the divergence description when a reparse or the memo
+/// invariant disagrees.
+pub fn assert_edit_script_agrees(grammar: &str, input: &str, seed: u64) {
+    let id = GrammarId::from_name(grammar)
+        .unwrap_or_else(|| panic!("unknown grammar {grammar:?}"));
+    let g = id.elaborate().expect("grammar elaborates");
+    let oracle = Oracle::new(&g, Some(id), EngineSet::all()).expect("engines compile");
+    if let Some(detail) = oracle.check_edits(input, seed) {
+        panic!("incremental engines diverge on {input:?} (seed {seed}): {detail}");
+    }
+}
+
+/// Renders a ready-to-paste regression test for a minimized divergence.
+fn regression_snippet(
+    id: GrammarId,
+    input: &str,
+    edit_seed: Option<u64>,
+    detail: &str,
+) -> String {
+    let hash = fnv1a(input.as_bytes()) & 0xFFFF_FFFF;
+    let name = format!("regression_{}_{hash:08x}", id.name());
+    let body = match edit_seed {
+        None => format!(
+            "    modpeg_conformance::assert_engines_agree({:?}, {input:?});",
+            id.name()
+        ),
+        Some(seed) => format!(
+            "    modpeg_conformance::assert_edit_script_agrees({:?}, {input:?}, {seed});",
+            id.name()
+        ),
+    };
+    format!("/// Found by `modpeg fuzz`: {detail}\n#[test]\nfn {name}() {{\n{body}\n}}\n")
+}
+
+/// FNV-1a over `bytes` — stable input fingerprints for test names and
+/// per-grammar RNG streams, with no clock or global state involved.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_registry_round_trips() {
+        for id in GrammarId::ALL {
+            assert_eq!(GrammarId::from_name(id.name()), Some(id));
+            assert!(id.elaborate().is_ok(), "{} elaborates", id.name());
+        }
+        assert_eq!(GrammarId::from_name("fortran"), None);
+    }
+
+    #[test]
+    fn smoke_campaign_is_clean_on_calc() {
+        let report = fuzz_grammar(
+            GrammarId::Calc,
+            &FuzzConfig {
+                seeds: 40,
+                ..FuzzConfig::smoke()
+            },
+        )
+        .unwrap();
+        assert!(
+            report.clean(),
+            "divergences: {:#?}",
+            report.divergences
+        );
+        assert!(report.inputs_tested > 40);
+        assert!(report.accepted > 0, "no accepted inputs at all");
+        assert!(report.rejected > 0, "mutants never got rejected");
+        assert!(report.edit_scripts_replayed > 0);
+        assert!(report.coverage_ratio > 0.5, "{}", report.coverage_ratio);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let cfg = FuzzConfig {
+            seeds: 15,
+            ..FuzzConfig::smoke()
+        };
+        let a = fuzz_grammar(GrammarId::Json, &cfg).unwrap();
+        let b = fuzz_grammar(GrammarId::Json, &cfg).unwrap();
+        assert_eq!(a.inputs_tested, b.inputs_tested);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.rejected, b.rejected);
+        assert!(a.coverage_ratio.to_bits() == b.coverage_ratio.to_bits());
+    }
+
+    #[test]
+    fn regression_snippet_is_pasteable() {
+        let s = regression_snippet(GrammarId::Json, "{\"a\": 1}", None, "verdict differs");
+        assert!(s.contains("#[test]"));
+        assert!(s.contains("assert_engines_agree"));
+        assert!(s.contains("regression_json_"));
+        let e = regression_snippet(GrammarId::Calc, "1+2", Some(7), "memo invariant");
+        assert!(e.contains("assert_edit_script_agrees"));
+        assert!(e.contains(", 7);"));
+    }
+
+    #[test]
+    fn assert_helpers_accept_agreeing_inputs() {
+        assert_engines_agree("calc", "1 + 2 * 3");
+        assert_edit_script_agrees("json", "{\"k\": [1, 2]}", 3);
+    }
+}

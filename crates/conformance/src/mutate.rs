@@ -1,0 +1,105 @@
+//! Mutation-based corruption of valid sentences.
+//!
+//! Grammar-aware generation explores the *accepted* side of the language;
+//! mutating its output explores the boundary: inputs that are almost
+//! valid, where optimized error paths, farthest-failure tracking, and
+//! lookahead dispatch are most likely to diverge. All operations work on
+//! `char` boundaries so mutants stay valid UTF-8.
+
+use modpeg_workload::rng::StdRng;
+
+/// Bytes spliced in by insertion/replacement mutations.
+const SPLICE_POOL: &[u8] = b"abzAZ019 ({[<\"'+-*/.,;:=!&|\n\t";
+
+/// Produces one corrupted copy of `input`.
+///
+/// The mutation operator (delete span, duplicate span, replace char,
+/// insert char, transpose neighbors, truncate) is drawn from `rng`; an
+/// empty input always gets an insertion.
+pub fn mutate(input: &str, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = input.chars().collect();
+    if chars.is_empty() {
+        return splice_char(rng).to_string();
+    }
+    match rng.gen_range(0u32..6) {
+        // Delete a short span.
+        0 => {
+            let start = rng.gen_range(0..chars.len());
+            let len = rng.gen_range(1..=3usize).min(chars.len() - start);
+            chars.drain(start..start + len);
+        }
+        // Duplicate a short span in place.
+        1 => {
+            let start = rng.gen_range(0..chars.len());
+            let len = rng.gen_range(1..=4usize).min(chars.len() - start);
+            let span: Vec<char> = chars[start..start + len].to_vec();
+            chars.splice(start..start, span);
+        }
+        // Replace one character.
+        2 => {
+            let at = rng.gen_range(0..chars.len());
+            chars[at] = splice_char(rng);
+        }
+        // Insert one character.
+        3 => {
+            let at = rng.gen_range(0..=chars.len());
+            chars.insert(at, splice_char(rng));
+        }
+        // Transpose two adjacent characters.
+        4 if chars.len() >= 2 => {
+            let at = rng.gen_range(0..chars.len() - 1);
+            chars.swap(at, at + 1);
+        }
+        // Truncate (also the fallback for 1-char transpose).
+        _ => {
+            let keep = rng.gen_range(0..chars.len());
+            chars.truncate(keep);
+        }
+    }
+    chars.into_iter().collect()
+}
+
+fn splice_char(rng: &mut StdRng) -> char {
+    SPLICE_POOL[rng.gen_range(0..SPLICE_POOL.len())] as char
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutants_differ_and_stay_utf8() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let base = "1 + (2 * 3) — mixed ασκii";
+        let mut changed = 0;
+        for _ in 0..50 {
+            let m = mutate(base, &mut rng);
+            // Constructing the String already validated UTF-8; check that
+            // char-level surgery really operated on char boundaries.
+            assert!(m.chars().count() <= base.chars().count() + 4);
+            if m != base {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 45, "only {changed}/50 mutants differ");
+    }
+
+    #[test]
+    fn empty_input_grows() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(!mutate("", &mut rng).is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| mutate("abc def", &mut rng)).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| mutate("abc def", &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,483 @@
+//! The differential oracle: one input, every engine, identical answers.
+//!
+//! For a single input the oracle runs
+//!
+//! * the interpreter at all 17 cumulative optimization levels
+//!   (`cumulative(0)` — which is also `OptConfig::default()`, the naïve
+//!   packrat parser — through `cumulative(16)` = `OptConfig::all()`), plus
+//!   the `incremental()` configuration,
+//! * the structure-preserving backtracking recognizer from
+//!   `modpeg-baseline` (verdict + farthest-failure offset),
+//! * the build-time generated parser from `modpeg-grammars` for the named
+//!   grammars,
+//!
+//! and demands identical accept/reject verdicts, identical trees (via
+//! `to_sexpr`, i.e. modulo elided spans), and identical farthest-failure
+//! offsets.
+//!
+//! Separately, [`Oracle::check_edits`] replays a random edit script
+//! through the incremental machinery: a [`ParseSession`] and a raw
+//! [`ChunkMemo`] driven through `apply_edit` + `parse_incremental`,
+//! asserting (a) incremental reparses agree with from-scratch parses on
+//! verdict and tree, and (b) the memo-table invariant — no column whose
+//! recorded lookahead overlaps the damaged window survives `apply_edit`.
+//! (Error *offsets* are deliberately not compared for incremental
+//! reparses: inside reused regions the farthest-failure detail is
+//! documented to be coarser.)
+//!
+//! The baseline recognizer is exponential on rejections by design, so it
+//! is only consulted for inputs up to [`EngineSet::baseline_max_len`].
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use modpeg_baseline::BacktrackParser;
+use modpeg_core::{Expr, Grammar};
+use modpeg_interp::{CompiledGrammar, OptConfig, OPT_COUNT};
+use modpeg_runtime::{ChunkMemo, ParseError, SyntaxTree};
+use modpeg_session::ParseSession;
+use modpeg_workload::rng::StdRng;
+
+use crate::GrammarId;
+
+/// Which engine families the oracle consults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineSet {
+    /// The interpreter at every cumulative optimization level.
+    pub opt_levels: bool,
+    /// The backtracking recognizer (verdict + farthest failure).
+    pub baseline: bool,
+    /// The build-time generated parser (named grammars only).
+    pub codegen: bool,
+    /// Incremental sessions replaying edit scripts vs full reparses.
+    pub incremental: bool,
+    /// Inputs longer than this skip the (exponential) baseline engine.
+    pub baseline_max_len: usize,
+}
+
+impl Default for EngineSet {
+    fn default() -> Self {
+        EngineSet::all()
+    }
+}
+
+impl EngineSet {
+    /// Every engine enabled.
+    pub fn all() -> Self {
+        EngineSet {
+            opt_levels: true,
+            baseline: true,
+            codegen: true,
+            incremental: true,
+            baseline_max_len: 120,
+        }
+    }
+
+    /// Parses a comma-separated engine list
+    /// (`opt-levels,baseline,codegen,incremental`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unknown engine.
+    pub fn from_list(list: &str) -> Result<Self, String> {
+        let mut set = EngineSet {
+            opt_levels: false,
+            baseline: false,
+            codegen: false,
+            incremental: false,
+            baseline_max_len: EngineSet::all().baseline_max_len,
+        };
+        for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match name {
+                "opt-levels" => set.opt_levels = true,
+                "baseline" => set.baseline = true,
+                "codegen" => set.codegen = true,
+                "incremental" => set.incremental = true,
+                other => {
+                    return Err(format!(
+                        "unknown engine `{other}` (expected opt-levels, baseline, codegen, incremental)"
+                    ))
+                }
+            }
+        }
+        if !(set.opt_levels || set.baseline || set.codegen || set.incremental) {
+            return Err("engine list selects no engines".to_owned());
+        }
+        Ok(set)
+    }
+
+    /// The enabled engines, for reporting.
+    pub fn names(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.opt_levels {
+            out.push("opt-levels");
+        }
+        if self.baseline {
+            out.push("baseline");
+        }
+        if self.codegen {
+            out.push("codegen");
+        }
+        if self.incremental {
+            out.push("incremental");
+        }
+        out
+    }
+}
+
+/// The comparable outcome of one engine on one input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Outcome {
+    /// The tree on acceptance (spans elided by `to_sexpr`).
+    sexpr: Option<String>,
+    /// The farthest-failure offset on rejection.
+    err_offset: Option<u32>,
+}
+
+impl Outcome {
+    fn of(result: Result<SyntaxTree, ParseError>) -> Self {
+        match result {
+            Ok(tree) => Outcome {
+                sexpr: Some(tree.to_sexpr()),
+                err_offset: None,
+            },
+            Err(e) => Outcome {
+                sexpr: None,
+                err_offset: Some(e.offset()),
+            },
+        }
+    }
+
+    fn accepted(&self) -> bool {
+        self.sexpr.is_some()
+    }
+
+    fn describe(&self) -> String {
+        match (&self.sexpr, self.err_offset) {
+            (Some(s), _) => format!("accept {}", clip(s)),
+            (None, Some(off)) => format!("reject at offset {off}"),
+            (None, None) => "reject".to_owned(),
+        }
+    }
+}
+
+fn clip(s: &str) -> String {
+    if s.len() > 160 {
+        let cut = (0..=160).rev().find(|i| s.is_char_boundary(*i)).unwrap_or(0);
+        format!("{}…", &s[..cut])
+    } else {
+        s.to_owned()
+    }
+}
+
+/// A cross-engine differential oracle for one grammar.
+pub struct Oracle<'g> {
+    grammar: &'g Grammar,
+    id: Option<GrammarId>,
+    engines: EngineSet,
+    /// `(label, parser)` per interpreter configuration; index 0 is the
+    /// reference (`cumulative(0)`, the naïve packrat parser).
+    levels: Vec<(String, CompiledGrammar)>,
+    incremental: Rc<CompiledGrammar>,
+    baseline: BacktrackParser<'g>,
+    /// Characters edit scripts splice in, harvested from the grammar's
+    /// literals and classes.
+    alphabet: Vec<char>,
+    /// Edits replayed per [`Oracle::check_edits`] call.
+    pub edits_per_script: usize,
+}
+
+impl<'g> Oracle<'g> {
+    /// Compiles every engine for `grammar`. `id` enables the codegen
+    /// engine for the named grammars.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation diagnostics as a rendered string.
+    pub fn new(
+        grammar: &'g Grammar,
+        id: Option<GrammarId>,
+        engines: EngineSet,
+    ) -> Result<Self, String> {
+        let mut levels = Vec::with_capacity(OPT_COUNT + 2);
+        let last = if engines.opt_levels { OPT_COUNT } else { 0 };
+        for n in 0..=last {
+            let cfg = OptConfig::cumulative(n);
+            levels.push((
+                format!("cumulative({n})"),
+                CompiledGrammar::compile(grammar, cfg).map_err(|e| e.to_string())?,
+            ));
+        }
+        if engines.opt_levels {
+            levels.push((
+                "incremental-config".to_owned(),
+                CompiledGrammar::compile(grammar, OptConfig::incremental())
+                    .map_err(|e| e.to_string())?,
+            ));
+        }
+        let incremental = Rc::new(
+            CompiledGrammar::compile(grammar, OptConfig::incremental())
+                .map_err(|e| e.to_string())?,
+        );
+        Ok(Oracle {
+            grammar,
+            id,
+            engines,
+            levels,
+            incremental,
+            baseline: BacktrackParser::new(grammar),
+            alphabet: grammar_alphabet(grammar),
+            edits_per_script: 6,
+        })
+    }
+
+    /// The reference parser (`cumulative(0)`).
+    pub fn reference(&self) -> &CompiledGrammar {
+        &self.levels[0].1
+    }
+
+    /// The grammar under test.
+    pub fn grammar(&self) -> &'g Grammar {
+        self.grammar
+    }
+
+    /// Runs every scratch-parse engine on `input` and compares outcomes.
+    /// Returns a human-readable description of the first divergence, or
+    /// `None` when all engines agree.
+    pub fn check(&self, input: &str) -> Option<String> {
+        let reference = Outcome::of(self.reference().parse(input));
+        for (label, parser) in &self.levels[1..] {
+            let got = Outcome::of(parser.parse(input));
+            if got != reference {
+                return Some(format!(
+                    "{label} disagrees with cumulative(0): {} vs {}",
+                    got.describe(),
+                    reference.describe()
+                ));
+            }
+        }
+        if self.engines.baseline && input.len() <= self.engines.baseline_max_len {
+            match (self.baseline.recognize(input), &reference) {
+                (Ok(()), r) if !r.accepted() => {
+                    return Some(format!(
+                        "baseline accepts but interpreter {}",
+                        r.describe()
+                    ));
+                }
+                (Err(off), r) if r.accepted() => {
+                    return Some(format!(
+                        "baseline rejects at {off} but interpreter accepts"
+                    ));
+                }
+                (Err(off), r) if r.err_offset != Some(off) => {
+                    return Some(format!(
+                        "baseline farthest failure {off} vs interpreter {:?}",
+                        r.err_offset
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if self.engines.codegen {
+            if let Some(result) = self.id.map(|id| id.codegen_parse(input)) {
+                let got = Outcome::of(result);
+                if got != reference {
+                    return Some(format!(
+                        "generated parser disagrees with cumulative(0): {} vs {}",
+                        got.describe(),
+                        reference.describe()
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Replays a deterministic random edit script (derived from `seed`)
+    /// over `text` through the incremental machinery, checking incremental
+    /// vs from-scratch agreement and the memo-invalidation invariant after
+    /// every `apply_edit`. Returns the first divergence found.
+    pub fn check_edits(&self, text: &str, seed: u64) -> Option<String> {
+        if !self.engines.incremental {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+
+        // Engine (d1): the session layer. For stateful grammars the
+        // session detects unsound reuse and falls back to full reparses —
+        // the tree agreement below still must hold.
+        let mut session = ParseSession::new(self.incremental.clone(), text.to_owned());
+        let _ = session.parse();
+        for step in 0..self.edits_per_script {
+            let (range, insert) = random_edit(session.text(), &self.alphabet, &mut rng);
+            session.apply_edit(range.clone(), &insert);
+            let incremental = Outcome::of(session.parse());
+            let scratch = Outcome::of(self.incremental.parse(session.text()));
+            if incremental.accepted() != scratch.accepted()
+                || incremental.sexpr != scratch.sexpr
+            {
+                return Some(format!(
+                    "session reparse diverged after edit {step} ({range:?} -> {insert:?}) on {:?}: {} vs scratch {}",
+                    session.text(),
+                    incremental.describe(),
+                    scratch.describe()
+                ));
+            }
+        }
+
+        // Engine (d2): the raw memo table, where the invariant is visible.
+        // Carrying a memo across edits is unsound for stateful grammars
+        // (the session's fallback is the fix), so the invariant check only
+        // applies to pure ones.
+        if self.incremental.uses_state() {
+            return None;
+        }
+        let mut doc = text.to_owned();
+        let memo = ChunkMemo::new(self.incremental.memo_slot_count(), doc.len() as u32);
+        let (_, _, mut memo) = self.incremental.parse_incremental(&doc, memo);
+        for step in 0..self.edits_per_script {
+            let (range, insert) = random_edit(&doc, &self.alphabet, &mut rng);
+            let (lo, removed, inserted) = (
+                range.start as u32,
+                (range.end - range.start) as u32,
+                insert.len() as u32,
+            );
+            doc.replace_range(range.clone(), &insert);
+            memo.apply_edit(lo, removed, inserted);
+            if let Some(violation) = memo_invariant_violation(&memo, lo, inserted) {
+                return Some(format!(
+                    "after edit {step} ({range:?} -> {insert:?}) on {doc:?}: {violation}"
+                ));
+            }
+            let (result, _, back) = self.incremental.parse_incremental(&doc, memo);
+            memo = back;
+            let incremental = Outcome::of(result);
+            let scratch = Outcome::of(self.incremental.parse(&doc));
+            if incremental.accepted() != scratch.accepted()
+                || incremental.sexpr != scratch.sexpr
+            {
+                return Some(format!(
+                    "memo-carrying reparse diverged after edit {step} ({range:?} -> {insert:?}) on {doc:?}: {} vs scratch {}",
+                    incremental.describe(),
+                    scratch.describe()
+                ));
+            }
+        }
+        None
+    }
+}
+
+/// Checks the post-`apply_edit` soundness invariant: every surviving
+/// occupied column's recorded lookahead lies entirely left of the edit, or
+/// the column sits at/after the end of the inserted text.
+fn memo_invariant_violation(memo: &ChunkMemo, lo: u32, inserted: u32) -> Option<String> {
+    for (pos, extent, entries) in memo.occupied_columns() {
+        let left_ok = u64::from(pos) + u64::from(extent) <= u64::from(lo);
+        let right_ok = pos >= lo + inserted;
+        if !left_ok && !right_ok {
+            return Some(format!(
+                "memo column at {pos} (extent {extent}, {entries} entries) survived apply_edit overlapping [{lo}, {})",
+                lo + inserted
+            ));
+        }
+    }
+    None
+}
+
+/// A random char-boundary edit: replace `range` with `insert`.
+fn random_edit(
+    doc: &str,
+    alphabet: &[char],
+    rng: &mut StdRng,
+) -> (std::ops::Range<usize>, String) {
+    let boundaries: Vec<usize> = doc
+        .char_indices()
+        .map(|(i, _)| i)
+        .chain([doc.len()])
+        .collect();
+    let a = rng.gen_range(0..boundaries.len());
+    let b = (a + rng.gen_range(0..=6usize)).min(boundaries.len() - 1);
+    let insert: String = (0..rng.gen_range(0usize..5))
+        .map(|_| {
+            if alphabet.is_empty() {
+                'x'
+            } else {
+                alphabet[rng.gen_range(0..alphabet.len())]
+            }
+        })
+        .collect();
+    (boundaries[a]..boundaries[b], insert)
+}
+
+/// The characters a grammar's terminals mention: literal characters plus
+/// the endpoints of every non-negated class range (and whitespace).
+fn grammar_alphabet(grammar: &Grammar) -> Vec<char> {
+    let mut set = BTreeSet::new();
+    for (_, prod) in grammar.iter() {
+        for expr in prod.exprs() {
+            expr.walk(&mut |e| match e {
+                Expr::Literal(s) => set.extend(s.chars()),
+                Expr::Class(c) if !c.is_negated() => {
+                    for &(lo, hi) in c.ranges() {
+                        set.insert(lo);
+                        set.insert(hi);
+                    }
+                }
+                _ => {}
+            });
+        }
+    }
+    set.extend([' ', '\n']);
+    set.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_list_parsing() {
+        let set = EngineSet::from_list("opt-levels, baseline").unwrap();
+        assert!(set.opt_levels && set.baseline);
+        assert!(!set.codegen && !set.incremental);
+        assert_eq!(set.names(), vec!["opt-levels", "baseline"]);
+        assert!(EngineSet::from_list("warp-drive").is_err());
+        assert!(EngineSet::from_list("").is_err());
+    }
+
+    #[test]
+    fn calc_inputs_agree_across_engines() {
+        let g = modpeg_grammars::calc_grammar().unwrap();
+        let oracle = Oracle::new(&g, Some(GrammarId::Calc), EngineSet::all()).unwrap();
+        for input in ["1 + 2 * (3 - 4)", "7", "1 + ", "", "((2)", "1 % 2"] {
+            assert_eq!(oracle.check(input), None, "on {input:?}");
+        }
+    }
+
+    #[test]
+    fn edit_scripts_agree_on_calc() {
+        let g = modpeg_grammars::calc_grammar().unwrap();
+        let oracle = Oracle::new(&g, Some(GrammarId::Calc), EngineSet::all()).unwrap();
+        for seed in 0..8 {
+            let text = modpeg_workload::calc_expression(seed, 120);
+            assert_eq!(oracle.check_edits(&text, seed), None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stateful_c_grammar_edit_scripts_still_check() {
+        let g = modpeg_grammars::c_grammar().unwrap();
+        let oracle = Oracle::new(&g, Some(GrammarId::C), EngineSet::all()).unwrap();
+        let text = modpeg_workload::c_program(1, 300);
+        assert_eq!(oracle.check_edits(&text, 17), None);
+    }
+
+    #[test]
+    fn grammar_alphabet_collects_terminals() {
+        let g = modpeg_grammars::calc_grammar().unwrap();
+        let alphabet = grammar_alphabet(&g);
+        for c in ['+', '-', '*', '(', ')', '0', '9'] {
+            assert!(alphabet.contains(&c), "{c} missing from {alphabet:?}");
+        }
+    }
+}

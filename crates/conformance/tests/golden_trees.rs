@@ -1,0 +1,83 @@
+//! Golden-tree snapshots: one small fixed-seed program per grammar, with
+//! the expected syntax tree committed under `tests/golden/`.
+//!
+//! The snapshot pins the *shape* of the tree (via `to_sexpr`, spans
+//! elided), so any change to grammar elaboration, optimization passes, or
+//! code generation that silently alters tree construction shows up as a
+//! readable diff. Each input is parsed by the build-time generated parser
+//! and by the interpreter at full optimization; both must match the
+//! committed snapshot.
+//!
+//! To regenerate after an intentional grammar change:
+//!
+//! ```text
+//! MODPEG_BLESS=1 cargo test -p modpeg-conformance --test golden_trees
+//! ```
+
+use modpeg_conformance::GrammarId;
+
+fn check_golden(id: GrammarId, input: &str, golden_file: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(golden_file);
+    let generated = id
+        .codegen_parse(input)
+        .unwrap_or_else(|e| panic!("{} sample must parse: {e}", id.name()))
+        .to_sexpr();
+
+    // The interpreter at full optimization must build the same tree.
+    let grammar = id.elaborate().expect("grammar elaborates");
+    let compiled =
+        modpeg_interp::CompiledGrammar::compile(&grammar, modpeg_interp::OptConfig::all())
+            .expect("grammar compiles");
+    let interpreted = compiled
+        .parse(input)
+        .unwrap_or_else(|e| panic!("{} sample must parse via interp: {e}", id.name()))
+        .to_sexpr();
+    assert_eq!(
+        generated, interpreted,
+        "generated and interpreted trees differ for {}",
+        id.name()
+    );
+
+    if std::env::var_os("MODPEG_BLESS").is_some() {
+        std::fs::write(&path, format!("{generated}\n")).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with MODPEG_BLESS=1", path.display()));
+    assert_eq!(
+        generated,
+        expected.trim_end(),
+        "tree for {} diverged from {}; if intentional, re-bless with MODPEG_BLESS=1",
+        id.name(),
+        path.display()
+    );
+}
+
+#[test]
+fn golden_tree_json() {
+    check_golden(
+        GrammarId::Json,
+        &modpeg_workload::json_document(7, 160),
+        "json.sexpr",
+    );
+}
+
+#[test]
+fn golden_tree_java() {
+    check_golden(
+        GrammarId::Java,
+        &modpeg_workload::java_program(7, 320),
+        "java.sexpr",
+    );
+}
+
+#[test]
+fn golden_tree_c() {
+    check_golden(
+        GrammarId::C,
+        &modpeg_workload::c_program(7, 320),
+        "c.sexpr",
+    );
+}

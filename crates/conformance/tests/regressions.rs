@@ -1,0 +1,52 @@
+//! Minimized regressions found by `modpeg fuzz`.
+//!
+//! Each test below started as a generated (or mutated) sentence on which
+//! two engines disagreed, was auto-shrunk by the DDmin minimizer, and was
+//! emitted by the CLI as a paste-ready snippet. All of them reproduce the
+//! same underlying bug, fixed in `modpeg-baseline`: the backtracking
+//! recognizer recorded farthest-failure positions reached *inside*
+//! syntactic predicates, while the interpreter (correctly) treats a
+//! predicate's internal failures as speculation and suppresses them. A
+//! keyword guard like `Keyword = KeywordText !IdChar` made the baseline
+//! report the position after the keyword text instead of the position
+//! where parsing actually got stuck.
+
+use modpeg_conformance::assert_engines_agree;
+
+/// Found by `modpeg fuzz`: baseline farthest failure 20 vs interpreter 16.
+#[test]
+fn regression_java_keyword_guard_in_member() {
+    assert_engines_agree("java", "class\t_/**/{c//\nvoid");
+}
+
+/// Found by `modpeg fuzz`: baseline farthest failure 13 vs interpreter 8.
+#[test]
+fn regression_java_keyword_as_identifier() {
+    assert_engines_agree("java", "class//\nclass");
+}
+
+/// Found by `modpeg fuzz`: baseline farthest failure 21 vs interpreter 16.
+#[test]
+fn regression_java_keyword_guard_in_body() {
+    assert_engines_agree("java", "class\tP/**/{/**/break");
+}
+
+/// Found by `modpeg fuzz`: baseline farthest failure 8 vs interpreter 0.
+/// `unsigned intb` fails the `!IdChar` guard after `unsigned int`; the
+/// speculative keyword match must not surface as the farthest failure.
+#[test]
+fn regression_c_prim_type_identifier_tail() {
+    assert_engines_agree("c", "unsigned intb");
+}
+
+/// Found by `modpeg fuzz`: baseline farthest failure 12 vs interpreter 9.
+#[test]
+fn regression_c_keyword_after_comment() {
+    assert_engines_agree("c", "struct//\nint");
+}
+
+/// Found by `modpeg fuzz`: baseline farthest failure 10 vs interpreter 7.
+#[test]
+fn regression_c_keyword_after_newline() {
+    assert_engines_agree("c", "struct\nint");
+}

@@ -10,12 +10,15 @@
 //! * [`first_sets`] — which first bytes can a production's match begin
 //!   with? (feeds the `terminal-dispatch` optimization)
 //! * [`left_recursion_cycles`] — indirect left-recursion detection.
+//! * [`derivation_heights`] — shortest derivation height per production
+//!   (budgets the conformance harness's sentence generator).
 //!
 //! [`check_well_formed`] bundles the checks that make a grammar unusable
 //! when violated; elaboration runs it automatically.
 //!
 //! [`ProdId::index`]: crate::grammar::ProdId::index
 
+mod cost;
 mod first;
 mod leftrec;
 mod lint;
@@ -23,6 +26,7 @@ mod nullable;
 mod reach;
 mod stateful;
 
+pub use cost::{derivation_heights, expr_height, UNBOUNDED_HEIGHT};
 pub use first::{expr_first, first_sets, FirstSet};
 pub use leftrec::left_recursion_cycles;
 pub use lint::lint;

@@ -105,6 +105,16 @@ impl Coverage {
         let p = self.names.iter().position(|n| n == production)?;
         self.hits.get(p)?.get(alt).copied()
     }
+
+    /// All per-alternative hit counts of one production, by name.
+    ///
+    /// Alternative indices follow the same order as [`Coverage::hits_for`];
+    /// coverage-guided generation uses this row to bias alternative
+    /// selection toward uncovered entries.
+    pub fn hits_row(&self, production: &str) -> Option<&[u64]> {
+        let p = self.names.iter().position(|n| n == production)?;
+        self.hits.get(p).map(Vec::as_slice)
+    }
 }
 
 impl fmt::Display for Coverage {
@@ -150,6 +160,8 @@ mod tests {
         assert_eq!(c.hits_for("A", 0), Some(2));
         assert_eq!(c.hits_for("A", 1), Some(0));
         assert_eq!(c.hits_for("Zzz", 0), None);
+        assert_eq!(c.hits_row("A"), Some(&[2, 0][..]));
+        assert_eq!(c.hits_row("Zzz"), None);
     }
 
     #[test]

@@ -261,6 +261,22 @@ impl ChunkMemo {
         std::mem::take(&mut self.entries_shifted)
     }
 
+    /// Iterates the materialized columns that still hold entries, as
+    /// `(pos, extent, entries)` triples.
+    ///
+    /// This is the observation surface for [`ChunkMemo::apply_edit`]'s
+    /// soundness invariant: immediately after `apply_edit(lo, removed,
+    /// inserted)`, every occupied column satisfies
+    /// `pos + extent <= lo || pos >= lo + inserted` — no surviving entry's
+    /// recorded lookahead overlaps the edited window.
+    pub fn occupied_columns(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.columns.iter().enumerate().filter_map(|(pos, slot)| {
+            slot.as_ref()
+                .filter(|col| col.count > 0)
+                .map(|col| (pos as u32, col.extent, col.count))
+        })
+    }
+
     /// Fetches a recycled column, or allocates a fresh one.
     fn fresh_column(spare: &mut Vec<Box<Column>>, n_chunks: usize, allocated: &mut u64) -> Box<Column> {
         spare.pop().unwrap_or_else(|| {
@@ -666,6 +682,29 @@ mod tests {
             m.store(0, pos, fail());
         }
         assert_eq!(m.columns_allocated(), allocated);
+    }
+
+    #[test]
+    fn occupied_columns_reflect_stores_and_edits() {
+        let mut m = ChunkMemo::new(5, 20);
+        assert_eq!(m.occupied_columns().count(), 0);
+        m.store(0, 2, success(4));
+        m.record_extent(2, 2);
+        m.store(0, 12, success(14));
+        m.record_extent(12, 2);
+        let cols: Vec<_> = m.occupied_columns().collect();
+        assert_eq!(cols, vec![(2, 2, 1), (12, 2, 1)]);
+        // Replace [6, 8) with 3 bytes: left column kept, right shifted.
+        let lo = 6u32;
+        let inserted = 3u32;
+        m.apply_edit(lo, 2, inserted);
+        for (pos, extent, _) in m.occupied_columns() {
+            assert!(
+                pos + extent <= lo || pos >= lo + inserted,
+                "column {pos} (extent {extent}) overlaps the edit"
+            );
+        }
+        assert_eq!(m.occupied_columns().count(), 2);
     }
 
     #[test]

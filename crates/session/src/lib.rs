@@ -426,6 +426,33 @@ mod tests {
     }
 
     #[test]
+    fn reuse_counters_report_shifted_and_reused_columns() {
+        // A size-changing edit near the front: columns to the right of the
+        // damage survive, but at shifted positions — so the reparse must
+        // report both reused columns and shifted entries, and the
+        // invalidation of the damaged region itself.
+        let parser = calc();
+        let mut session = ParseSession::new(parser.clone(), "11+22*33+(44-55)");
+        assert!(session.parse().is_ok());
+        session.apply_edit(0..2, "777"); // "777+22*33+(44-55)" — delta +1
+        let incremental = session.parse().unwrap().to_sexpr();
+        assert_eq!(incremental, parser.parse(session.text()).unwrap().to_sexpr());
+        let stats = session.last_stats();
+        assert!(
+            stats.memo_columns_reused > 0,
+            "columns right of the edit must be reused: {stats:?}"
+        );
+        assert!(
+            stats.memo_entries_shifted > 0,
+            "a size-changing edit must shift surviving entries: {stats:?}"
+        );
+        assert!(
+            stats.memo_columns_invalidated > 0,
+            "the damaged prefix must be invalidated: {stats:?}"
+        );
+    }
+
+    #[test]
     fn multiple_edits_between_parses_compose() {
         let parser = calc();
         let mut session = ParseSession::new(parser.clone(), "11+22+33+44");

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Deterministic conformance-fuzzing smoke run (~5 s budget).
+#
+# Runs `modpeg fuzz --smoke`: fixed seeds, all four grammars, every
+# engine (interpreter opt ladder, baseline recognizer, generated parsers,
+# incremental edit replay). Any cross-engine divergence fails the run and
+# prints a minimized, paste-ready regression test.
+#
+# Usage: scripts/fuzz-smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODPEG=target/release/modpeg
+if [ ! -x "$MODPEG" ]; then
+    echo "== fuzz-smoke: building modpeg =="
+    cargo build --release -p modpeg-cli
+fi
+
+echo "== fuzz-smoke: modpeg fuzz --smoke =="
+"$MODPEG" fuzz --smoke
+
+echo "== fuzz-smoke: OK =="

@@ -14,4 +14,7 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+echo "== tier-1: conformance fuzz smoke =="
+sh scripts/fuzz-smoke.sh
+
 echo "== tier-1: OK =="
