@@ -11,7 +11,7 @@
 //! claims, noted in `EXPERIMENTS.md`.
 
 use modpeg_core::{Expr, Grammar, ProdId};
-use modpeg_runtime::{Input, ScopedState};
+use modpeg_runtime::{Input, ScopedState, DEFAULT_MAX_DEPTH};
 
 /// A recognizer that tries alternatives by brute backtracking.
 ///
@@ -34,6 +34,23 @@ pub struct BacktrackParser<'g> {
     grammar: &'g Grammar,
 }
 
+/// Everything one [`BacktrackParser::recognize_with_depth`] call learned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecognizeOutcome {
+    /// The verdict: accepted, or the farthest failure offset.
+    ///
+    /// Not authoritative when [`RecognizeOutcome::depth_exceeded`] is set —
+    /// the guard cut branches off mid-search, so treat the whole attempt
+    /// as aborted rather than as a rejection.
+    pub result: Result<(), u32>,
+    /// Expression evaluations performed (the backtracking work).
+    pub steps: u64,
+    /// Whether the recursion-depth guard tripped. The recognizer has no
+    /// memo table to shrink its recursion, so without the guard deeply
+    /// nested input overflows the machine stack and kills the process.
+    pub depth_exceeded: bool,
+}
+
 struct Run<'g, 'i> {
     grammar: &'g Grammar,
     input: Input<'i>,
@@ -45,6 +62,14 @@ struct Run<'g, 'i> {
     suppress: u32,
     /// Expression evaluations — the work counter the experiments report.
     steps: u64,
+    /// Expression frames currently on the machine stack.
+    depth: u32,
+    max_depth: u32,
+    /// Latched when the guard trips. From then on every evaluation fails
+    /// fast; the final verdict is discarded by the caller, so a guard
+    /// failure "inverting" inside a `!p` predicate cannot leak out as a
+    /// bogus accept.
+    overflowed: bool,
 }
 
 impl<'g> BacktrackParser<'g> {
@@ -54,6 +79,13 @@ impl<'g> BacktrackParser<'g> {
     }
 
     /// Recognizes `input` (full consumption required).
+    ///
+    /// Recursion is capped at [`DEFAULT_MAX_DEPTH`] expression frames:
+    /// input nested deeper than that is rejected conservatively instead of
+    /// overflowing the stack. Use [`recognize_with_depth`] to tell the two
+    /// apart (or to pick another ceiling).
+    ///
+    /// [`recognize_with_depth`]: BacktrackParser::recognize_with_depth
     ///
     /// # Errors
     ///
@@ -68,6 +100,15 @@ impl<'g> BacktrackParser<'g> {
     ///
     /// [`recognize`]: BacktrackParser::recognize
     pub fn recognize_counting(&self, input: &str) -> (Result<(), u32>, u64) {
+        let o = self.recognize_with_depth(input, DEFAULT_MAX_DEPTH);
+        (o.result, o.steps)
+    }
+
+    /// Like [`recognize`], with an explicit recursion ceiling and an
+    /// explicit signal when it was hit.
+    ///
+    /// [`recognize`]: BacktrackParser::recognize
+    pub fn recognize_with_depth(&self, input: &str, max_depth: u32) -> RecognizeOutcome {
         let mut run = Run {
             grammar: self.grammar,
             input: Input::new(input),
@@ -75,13 +116,20 @@ impl<'g> BacktrackParser<'g> {
             farthest: 0,
             suppress: 0,
             steps: 0,
+            depth: 0,
+            max_depth,
+            overflowed: false,
         };
-        let outcome = match run.eval_prod(self.grammar.root(), 0) {
+        let result = match run.eval_prod(self.grammar.root(), 0) {
             Some(end) if end == run.input.len() => Ok(()),
             Some(end) => Err(run.farthest.max(end)),
             None => Err(run.farthest),
         };
-        (outcome, run.steps)
+        RecognizeOutcome {
+            result,
+            steps: run.steps,
+            depth_exceeded: run.overflowed,
+        }
     }
 }
 
@@ -136,7 +184,24 @@ impl<'g, 'i> Run<'g, 'i> {
         }
     }
 
+    /// Depth-guarded expression evaluation: counts held expression frames
+    /// (the same model the governed engines use) and fails fast once the
+    /// ceiling is hit or has been hit anywhere in this run.
     fn eval(&mut self, expr: &Expr<ProdId>, pos: u32) -> Option<u32> {
+        if self.overflowed {
+            return None;
+        }
+        if self.depth >= self.max_depth {
+            self.overflowed = true;
+            return None;
+        }
+        self.depth += 1;
+        let r = self.eval_expr(expr, pos);
+        self.depth -= 1;
+        r
+    }
+
+    fn eval_expr(&mut self, expr: &Expr<ProdId>, pos: u32) -> Option<u32> {
         self.steps += 1;
         match expr {
             Expr::Empty => Some(pos),
@@ -328,6 +393,30 @@ mod tests {
         // the reportable failure is still `\"x\"` at offset 2, not the
         // speculative offset 3 inside the predicate.
         assert_eq!(p.recognize("abcq").unwrap_err(), 2);
+    }
+
+    #[test]
+    fn depth_guard_survives_pathological_nesting() {
+        let g = grammar(
+            "module m; public V = \"[\" V \"]\" / $[0-9]+ ;",
+            "m",
+        );
+        let p = BacktrackParser::new(&g);
+        // 100k-deep nesting used to overflow the stack and kill the
+        // process; now the guard trips and reports it.
+        let deep = format!("{}7{}", "[".repeat(100_000), "]".repeat(100_000));
+        let o = p.recognize_with_depth(&deep, DEFAULT_MAX_DEPTH);
+        assert!(o.depth_exceeded);
+        assert!(p.recognize(&deep).is_err(), "conservative rejection");
+        // Modest nesting is untouched by the default ceiling...
+        let shallow = format!("{}7{}", "[".repeat(40), "]".repeat(40));
+        let o = p.recognize_with_depth(&shallow, DEFAULT_MAX_DEPTH);
+        assert_eq!(o.result, Ok(()));
+        assert!(!o.depth_exceeded);
+        assert!(o.steps > 0);
+        // ...and a tight explicit ceiling trips on it.
+        let o = p.recognize_with_depth(&shallow, 10);
+        assert!(o.depth_exceeded);
     }
 
     #[test]

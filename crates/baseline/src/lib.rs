@@ -16,4 +16,4 @@
 mod backtrack;
 pub mod handwritten;
 
-pub use backtrack::BacktrackParser;
+pub use backtrack::{BacktrackParser, RecognizeOutcome};

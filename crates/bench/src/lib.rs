@@ -13,6 +13,7 @@
 //! | `fig_scaling` | E5 — linear-time scaling & backtracking blowup |
 //! | `table_extend` | E6 — extensibility case study |
 //! | `fig_incremental` | E8 — incremental reparse sessions |
+//! | `fig_governor_overhead` | E10 — resource-governance guard overhead |
 //!
 //! This library crate holds the shared measurement utilities.
 

@@ -4,19 +4,78 @@
 //! modpeg check  <grammar.mpeg>... --root <module> [--start <prod>] [--dump]
 //! modpeg stats  <grammar.mpeg>...
 //! modpeg parse  <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--stats]
+//!               [--deadline-ms <n>] [--fuel <n>] [--max-depth <n>] [--memo-budget <bytes>]
 //! modpeg gen    <grammar.mpeg>... --root <module> [--start <prod>] [--out <file.rs>]
 //! modpeg session-bench <grammar.mpeg>... --root <module> --input <file> [--edits <n>]
-//! modpeg fuzz [--grammar calc|json|java|c|all] [--seeds <n>] [--engines <list>] [--smoke]
+//! modpeg fuzz  [--grammar calc|json|java|c|all] [--seeds <n>] [--engines <list>] [--smoke]
+//! modpeg fault [--grammar calc|json|java|c|all] [--seeds <n>] [--smoke]
 //! ```
+//!
+//! ## Exit codes
+//!
+//! | code | meaning                                                        |
+//! |------|----------------------------------------------------------------|
+//! | 0    | success                                                        |
+//! | 1    | the check failed: parse error, divergence, contract violation  |
+//! | 2    | usage error (bad flags or arguments)                           |
+//! | 3    | I/O error reading or writing a file                            |
+//! | 4    | resource abort: a governed parse hit a limit (`--deadline-ms`, |
+//! |      | `--fuel`, `--max-depth`, `--memo-budget`)                      |
+//! | 5    | internal error (engine disagreement, compilation bug)          |
+//!
+//! An abort (4) is deliberately distinct from a parse failure (1): it is
+//! not a verdict on the input — retrying with a larger budget may succeed.
 
 use std::process::ExitCode;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
-use modpeg_conformance::{fuzz_grammar, EngineSet, FuzzConfig, GrammarId};
+use modpeg_conformance::{
+    fault_grammar, fuzz_grammar, EngineSet, FaultConfig, FuzzConfig, GrammarId,
+};
 use modpeg_core::Grammar;
 use modpeg_interp::{CompiledGrammar, OptConfig};
+use modpeg_runtime::{GovernorLimits, ParseFault};
 use modpeg_session::ParseSession;
+
+/// A CLI failure, carrying which exit code it maps to.
+#[derive(Debug)]
+enum CliError {
+    /// The command's check said no: parse failure, fuzz divergence,
+    /// fault-contract violation, grammar diagnostics (exit 1).
+    Failure(String),
+    /// Bad flags or arguments (exit 2).
+    Usage(String),
+    /// File read/write problems (exit 3).
+    Io(String),
+    /// A governed parse hit a resource limit (exit 4).
+    Abort(String),
+    /// Engine bugs: internal compilation failures, cross-engine
+    /// disagreement during a bench (exit 5).
+    Internal(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Failure(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Abort(_) => 4,
+            CliError::Internal(_) => 5,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Failure(m)
+            | CliError::Usage(m)
+            | CliError::Io(m)
+            | CliError::Abort(m)
+            | CliError::Internal(m) => m,
+        }
+    }
+}
 
 struct Args {
     command: String,
@@ -29,6 +88,10 @@ struct Args {
     seeds: Option<u64>,
     grammar: Option<String>,
     engines: Option<String>,
+    deadline_ms: Option<u64>,
+    fuel: Option<u64>,
+    max_depth: Option<u32>,
+    memo_budget: Option<u64>,
     smoke: bool,
     dump: bool,
     stats: bool,
@@ -41,11 +104,14 @@ fn usage() -> &'static str {
      modpeg lint  <grammar.mpeg>... --root <module> [--start <prod>]\n  \
      modpeg fmt   <grammar.mpeg>...\n  \
      modpeg stats <grammar.mpeg>...\n  \
-     modpeg parse <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--stats] [--trace]\n  \
+     modpeg parse <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--stats] [--trace]\n               \
+     [--deadline-ms <n>] [--fuel <n>] [--max-depth <n>] [--memo-budget <bytes>]\n  \
      modpeg coverage <grammar.mpeg>... --root <module> [--start <prod>] --input <file>\n  \
      modpeg gen   <grammar.mpeg>... --root <module> [--start <prod>] [--out <file.rs>]\n  \
      modpeg session-bench <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--edits <n>]\n  \
-     modpeg fuzz [--grammar calc|json|java|c|all] [--seeds <n>] [--engines opt-levels,baseline,codegen,incremental] [--smoke]"
+     modpeg fuzz  [--grammar calc|json|java|c|all] [--seeds <n>] [--engines opt-levels,baseline,codegen,incremental] [--smoke]\n  \
+     modpeg fault [--grammar calc|json|java|c|all] [--seeds <n>] [--smoke]\n\
+     exit codes: 0 ok, 1 check failed, 2 usage, 3 I/O, 4 resource abort, 5 internal"
 }
 
 fn parse_args(argv: Vec<String>) -> Result<Args, String> {
@@ -62,32 +128,35 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         seeds: None,
         grammar: None,
         engines: None,
+        deadline_ms: None,
+        fuel: None,
+        max_depth: None,
+        memo_budget: None,
         smoke: false,
         dump: false,
         stats: false,
         trace: false,
     };
+    fn num<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        v.ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|e| format!("{flag}: {e}"))
+    }
     while let Some(a) = it.next() {
         match a.as_str() {
             "--root" => args.root = Some(it.next().ok_or("--root needs a value")?),
             "--start" => args.start = Some(it.next().ok_or("--start needs a value")?),
             "--input" => args.input = Some(it.next().ok_or("--input needs a value")?),
             "--out" => args.out = Some(it.next().ok_or("--out needs a value")?),
-            "--edits" => {
-                args.edits = it
-                    .next()
-                    .ok_or("--edits needs a value")?
-                    .parse()
-                    .map_err(|e| format!("--edits: {e}"))?;
-            }
-            "--seeds" => {
-                args.seeds = Some(
-                    it.next()
-                        .ok_or("--seeds needs a value")?
-                        .parse()
-                        .map_err(|e| format!("--seeds: {e}"))?,
-                );
-            }
+            "--edits" => args.edits = num("--edits", it.next())?,
+            "--seeds" => args.seeds = Some(num("--seeds", it.next())?),
+            "--deadline-ms" => args.deadline_ms = Some(num("--deadline-ms", it.next())?),
+            "--fuel" => args.fuel = Some(num("--fuel", it.next())?),
+            "--max-depth" => args.max_depth = Some(num("--max-depth", it.next())?),
+            "--memo-budget" => args.memo_budget = Some(num("--memo-budget", it.next())?),
             "--grammar" => args.grammar = Some(it.next().ok_or("--grammar needs a value")?),
             "--engines" => args.engines = Some(it.next().ok_or("--engines needs a value")?),
             "--smoke" => args.smoke = true,
@@ -98,20 +167,32 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
-    // `fuzz` works on built-in grammars; everything else reads .mpeg files.
-    if args.files.is_empty() && args.command != "fuzz" {
+    // `fuzz` and `fault` work on built-in grammars; everything else reads
+    // .mpeg files.
+    if args.files.is_empty() && !matches!(args.command.as_str(), "fuzz" | "fault") {
         return Err(format!("no grammar files given\n{}", usage()));
     }
     Ok(args)
 }
 
-fn load_grammar(args: &Args) -> Result<Grammar, String> {
+/// The resource limits the governor flags describe (unlimited when no
+/// flag was given).
+fn governor_limits(args: &Args) -> GovernorLimits {
+    GovernorLimits {
+        deadline: args.deadline_ms.map(Duration::from_millis),
+        fuel: args.fuel,
+        max_depth: args.max_depth,
+        memo_budget: args.memo_budget,
+    }
+}
+
+fn load_grammar(args: &Args) -> Result<Grammar, CliError> {
     let mut texts = Vec::new();
     for f in &args.files {
-        texts.push(std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?);
+        texts.push(std::fs::read_to_string(f).map_err(|e| CliError::Io(format!("{f}: {e}")))?);
     }
     let set = modpeg_syntax::parse_module_set(texts.iter().map(String::as_str))
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Failure(e.to_string()))?;
     let root = args
         .root
         .clone()
@@ -120,12 +201,16 @@ fn load_grammar(args: &Args) -> Result<Grammar, String> {
             let modules: Vec<_> = set.iter().collect();
             (modules.len() == 1).then(|| modules[0].name.clone())
         })
-        .ok_or("--root <module> is required with multiple modules")?;
+        .ok_or_else(|| CliError::Usage("--root <module> is required with multiple modules".into()))?;
     set.elaborate(&root, args.start.as_deref())
-        .map_err(|e| e.to_string())
+        .map_err(|e| CliError::Failure(e.to_string()))
 }
 
-fn cmd_check(args: &Args) -> Result<(), String> {
+fn compile(grammar: &Grammar, cfg: OptConfig) -> Result<CompiledGrammar, CliError> {
+    CompiledGrammar::compile(grammar, cfg).map_err(|e| CliError::Internal(e.to_string()))
+}
+
+fn cmd_check(args: &Args) -> Result<(), CliError> {
     let grammar = load_grammar(args)?;
     let reach = modpeg_core::analysis::reachable(&grammar);
     let live = reach.iter().filter(|r| **r).count();
@@ -135,7 +220,7 @@ fn cmd_check(args: &Args) -> Result<(), String> {
         live,
         grammar.production(grammar.root()).name
     );
-    let compiled = CompiledGrammar::compile(&grammar, OptConfig::all()).map_err(|e| e.to_string())?;
+    let compiled = compile(&grammar, OptConfig::all())?;
     println!(
         "optimized: {} productions, {} memoized, {} memo slots",
         compiled.production_count(),
@@ -148,7 +233,7 @@ fn cmd_check(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_lint(args: &Args) -> Result<(), String> {
+fn cmd_lint(args: &Args) -> Result<(), CliError> {
     let grammar = load_grammar(args)?;
     let warnings = modpeg_core::analysis::lint(&grammar);
     if warnings.is_empty() {
@@ -162,20 +247,21 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fmt(args: &Args) -> Result<(), String> {
+fn cmd_fmt(args: &Args) -> Result<(), CliError> {
     for f in &args.files {
-        let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
-        let modules = modpeg_syntax::parse_modules(&text).map_err(|e| e.to_string())?;
+        let text = std::fs::read_to_string(f).map_err(|e| CliError::Io(format!("{f}: {e}")))?;
+        let modules =
+            modpeg_syntax::parse_modules(&text).map_err(|e| CliError::Failure(e.to_string()))?;
         print!("{}", modpeg_syntax::format_modules(&modules));
     }
     Ok(())
 }
 
-fn cmd_stats(args: &Args) -> Result<(), String> {
+fn cmd_stats(args: &Args) -> Result<(), CliError> {
     println!("{:<28} {:>6} {:>6} {:>6}  kind", "module", "prods", "decls", "lines");
     for f in &args.files {
-        let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
-        for m in modpeg_grammars::module_stats(&text).map_err(|e| e.to_string())? {
+        let text = std::fs::read_to_string(f).map_err(|e| CliError::Io(format!("{f}: {e}")))?;
+        for m in modpeg_grammars::module_stats(&text).map_err(|e| CliError::Failure(e.to_string()))? {
             println!(
                 "{:<28} {:>6} {:>6} {:>6}  {}",
                 m.name,
@@ -193,11 +279,15 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_parse(args: &Args) -> Result<(), String> {
+fn cmd_parse(args: &Args) -> Result<(), CliError> {
     let grammar = load_grammar(args)?;
-    let input_path = args.input.as_ref().ok_or("--input <file> is required")?;
-    let input = std::fs::read_to_string(input_path).map_err(|e| format!("{input_path}: {e}"))?;
-    let compiled = CompiledGrammar::compile(&grammar, OptConfig::all()).map_err(|e| e.to_string())?;
+    let input_path = args
+        .input
+        .as_ref()
+        .ok_or_else(|| CliError::Usage("--input <file> is required".into()))?;
+    let input = std::fs::read_to_string(input_path)
+        .map_err(|e| CliError::Io(format!("{input_path}: {e}")))?;
+    let compiled = compile(&grammar, OptConfig::all())?;
     if args.trace {
         let (result, trace) = compiled.parse_with_trace(&input, 2_000);
         eprint!("{trace}");
@@ -206,7 +296,26 @@ fn cmd_parse(args: &Args) -> Result<(), String> {
                 println!("{}", tree.to_sexpr());
                 Ok(())
             }
-            Err(e) => Err(e.to_string()),
+            Err(e) => Err(CliError::Failure(e.to_string())),
+        };
+    }
+    let limits = governor_limits(args);
+    if !limits.is_unlimited() {
+        let gov = limits.governor();
+        let (result, stats) = compiled.parse_governed(&input, &gov);
+        return match result {
+            Ok(tree) => {
+                println!("{}", tree.to_sexpr());
+                if args.stats {
+                    eprintln!("{stats}");
+                }
+                Ok(())
+            }
+            Err(ParseFault::Syntax(e)) => Err(CliError::Failure(e.to_string())),
+            Err(ParseFault::Abort(kind)) => Err(CliError::Abort(format!(
+                "parse aborted after {} step(s): {kind}",
+                gov.steps()
+            ))),
         };
     }
     let (result, stats) = compiled.parse_with_stats(&input);
@@ -218,16 +327,19 @@ fn cmd_parse(args: &Args) -> Result<(), String> {
             }
             Ok(())
         }
-        Err(e) => Err(e.to_string()),
+        Err(e) => Err(CliError::Failure(e.to_string())),
     }
 }
 
-fn cmd_coverage(args: &Args) -> Result<(), String> {
+fn cmd_coverage(args: &Args) -> Result<(), CliError> {
     let grammar = load_grammar(args)?;
-    let input_path = args.input.as_ref().ok_or("--input <file> is required")?;
-    let input = std::fs::read_to_string(input_path).map_err(|e| format!("{input_path}: {e}"))?;
-    let compiled =
-        CompiledGrammar::compile(&grammar, OptConfig::all()).map_err(|e| e.to_string())?;
+    let input_path = args
+        .input
+        .as_ref()
+        .ok_or_else(|| CliError::Usage("--input <file> is required".into()))?;
+    let input = std::fs::read_to_string(input_path)
+        .map_err(|e| CliError::Io(format!("{input_path}: {e}")))?;
+    let compiled = compile(&grammar, OptConfig::all())?;
     let (result, coverage) = compiled.parse_with_coverage(&input);
     if let Err(e) = result {
         eprintln!("note: input did not fully parse: {e}");
@@ -282,23 +394,30 @@ fn median(times: &mut [Duration]) -> Duration {
     times[times.len() / 2]
 }
 
-fn cmd_session_bench(args: &Args) -> Result<(), String> {
+fn cmd_session_bench(args: &Args) -> Result<(), CliError> {
     let grammar = load_grammar(args)?;
-    let input_path = args.input.as_ref().ok_or("--input <file> is required")?;
-    let input = std::fs::read_to_string(input_path).map_err(|e| format!("{input_path}: {e}"))?;
-    let compiled = Rc::new(
-        CompiledGrammar::compile(&grammar, OptConfig::incremental()).map_err(|e| e.to_string())?,
-    );
+    let input_path = args
+        .input
+        .as_ref()
+        .ok_or_else(|| CliError::Usage("--input <file> is required".into()))?;
+    let input = std::fs::read_to_string(input_path)
+        .map_err(|e| CliError::Io(format!("{input_path}: {e}")))?;
+    let compiled = Rc::new(compile(&grammar, OptConfig::incremental())?);
     if args.edits == 0 {
-        return Err("--edits must be at least 1".to_owned());
+        return Err(CliError::Usage("--edits must be at least 1".into()));
     }
-    let script = digit_edit_script(&input, args.edits)
-        .ok_or("input has no digit runs to edit; session-bench rewrites numeric literals")?;
+    let script = digit_edit_script(&input, args.edits).ok_or_else(|| {
+        CliError::Usage(
+            "input has no digit runs to edit; session-bench rewrites numeric literals".into(),
+        )
+    })?;
 
     // Incremental: one priming parse, then reparse after each edit.
     let mut session = ParseSession::new(compiled.clone(), input.clone());
     let t0 = Instant::now();
-    let tree = session.parse().map_err(|e| format!("priming parse: {e}"))?;
+    let tree = session
+        .parse()
+        .map_err(|e| CliError::Failure(format!("priming parse: {e}")))?;
     let prime = t0.elapsed();
     drop(tree);
     let mut incremental_times = Vec::with_capacity(script.len());
@@ -306,7 +425,9 @@ fn cmd_session_bench(args: &Args) -> Result<(), String> {
     for (range, replacement) in &script {
         session.apply_edit(range.clone(), replacement);
         let t = Instant::now();
-        let tree = session.parse().map_err(|e| format!("incremental reparse: {e}"))?;
+        let tree = session
+            .parse()
+            .map_err(|e| CliError::Failure(format!("incremental reparse: {e}")))?;
         incremental_times.push(t.elapsed());
         incremental_trees.push(tree.to_sexpr());
     }
@@ -317,12 +438,14 @@ fn cmd_session_bench(args: &Args) -> Result<(), String> {
     for ((range, replacement), incremental_sexpr) in script.iter().zip(&incremental_trees) {
         doc.replace_range(range.clone(), replacement.as_str());
         let t = Instant::now();
-        let tree = compiled.parse(&doc).map_err(|e| format!("full reparse: {e}"))?;
+        let tree = compiled
+            .parse(&doc)
+            .map_err(|e| CliError::Failure(format!("full reparse: {e}")))?;
         full_times.push(t.elapsed());
         if tree.to_sexpr() != *incremental_sexpr {
-            return Err(format!(
+            return Err(CliError::Internal(format!(
                 "tree mismatch after edit {range:?}: incremental and full reparses disagree"
-            ));
+            )));
         }
     }
 
@@ -340,13 +463,20 @@ fn cmd_session_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_fuzz(args: &Args) -> Result<(), String> {
-    let grammars: Vec<GrammarId> = match args.grammar.as_deref() {
-        None | Some("all") => GrammarId::ALL.to_vec(),
-        Some(name) => vec![GrammarId::from_name(name).ok_or_else(|| {
-            format!("unknown grammar `{name}` (expected calc, json, java, c, or all)")
-        })?],
-    };
+/// Resolves `--grammar` for the built-in-grammar commands.
+fn named_grammars(args: &Args) -> Result<Vec<GrammarId>, CliError> {
+    match args.grammar.as_deref() {
+        None | Some("all") => Ok(GrammarId::ALL.to_vec()),
+        Some(name) => Ok(vec![GrammarId::from_name(name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown grammar `{name}` (expected calc, json, java, c, or all)"
+            ))
+        })?]),
+    }
+}
+
+fn cmd_fuzz(args: &Args) -> Result<(), CliError> {
+    let grammars = named_grammars(args)?;
     let mut cfg = if args.smoke {
         FuzzConfig::smoke()
     } else {
@@ -354,18 +484,18 @@ fn cmd_fuzz(args: &Args) -> Result<(), String> {
     };
     if let Some(seeds) = args.seeds {
         if seeds == 0 {
-            return Err("--seeds must be at least 1".to_owned());
+            return Err(CliError::Usage("--seeds must be at least 1".into()));
         }
         cfg.seeds = seeds;
     }
     if let Some(list) = &args.engines {
-        cfg.engines = EngineSet::from_list(list)?;
+        cfg.engines = EngineSet::from_list(list).map_err(CliError::Usage)?;
     }
 
     let mut total_divergences = 0usize;
     for id in grammars {
         let t = Instant::now();
-        let report = fuzz_grammar(id, &cfg)?;
+        let report = fuzz_grammar(id, &cfg).map_err(CliError::Internal)?;
         println!(
             "{:<5} {:>6} inputs ({} accepted, {} rejected), {} edit scripts, \
              coverage {:>5.1}%, {} divergence(s) [{:.2} s, engines: {}]",
@@ -388,19 +518,64 @@ fn cmd_fuzz(args: &Args) -> Result<(), String> {
         }
     }
     if total_divergences > 0 {
-        return Err(format!("{total_divergences} divergence(s) found"));
+        return Err(CliError::Failure(format!(
+            "{total_divergences} divergence(s) found"
+        )));
     }
     println!("all engines agree");
     Ok(())
 }
 
-fn cmd_gen(args: &Args) -> Result<(), String> {
+fn cmd_fault(args: &Args) -> Result<(), CliError> {
+    let grammars = named_grammars(args)?;
+    let mut cfg = if args.smoke {
+        FaultConfig::smoke()
+    } else {
+        FaultConfig::default()
+    };
+    if let Some(docs) = args.seeds {
+        if docs == 0 {
+            return Err(CliError::Usage("--seeds must be at least 1".into()));
+        }
+        cfg.docs = docs;
+    }
+
+    let mut total_violations = 0usize;
+    for id in grammars {
+        let t = Instant::now();
+        let report = fault_grammar(id, &cfg).map_err(CliError::Internal)?;
+        println!(
+            "{:<5} {:>3} documents, {:>4} aborts injected, {:>3} degradation runs, \
+             {} violation(s) [{:.2} s]",
+            report.grammar,
+            report.documents,
+            report.injections,
+            report.degradations,
+            report.violations.len(),
+            t.elapsed().as_secs_f64(),
+        );
+        for v in &report.violations {
+            total_violations += 1;
+            eprintln!("  {v}");
+        }
+    }
+    if total_violations > 0 {
+        return Err(CliError::Failure(format!(
+            "{total_violations} abort-contract violation(s) found"
+        )));
+    }
+    println!("abort contract holds across all engines");
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), CliError> {
     let grammar = load_grammar(args)?;
     let doc = format!("Generated from {}", args.files.join(", "));
-    let source = modpeg_codegen::generate(&grammar, &doc).map_err(|e| e.to_string())?;
+    let source =
+        modpeg_codegen::generate(&grammar, &doc).map_err(|e| CliError::Internal(e.to_string()))?;
     match &args.out {
         Some(path) => {
-            std::fs::write(path, source).map_err(|e| format!("{path}: {e}"))?;
+            std::fs::write(path, source).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
             println!("wrote {path}");
         }
         None => print!("{source}"),
@@ -414,7 +589,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let result = match args.command.as_str() {
@@ -427,13 +602,17 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&args),
         "session-bench" => cmd_session_bench(&args),
         "fuzz" => cmd_fuzz(&args),
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        "fault" => cmd_fault(&args),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n{}",
+            usage()
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("{e}");
-            ExitCode::FAILURE
+            eprintln!("{}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -466,6 +645,25 @@ mod tests {
     }
 
     #[test]
+    fn parses_governor_flags() {
+        let a = parse_args(argv(
+            "parse g.mpeg --input x --deadline-ms 250 --fuel 100000 --max-depth 512 --memo-budget 4194304",
+        ))
+        .unwrap();
+        assert_eq!(a.deadline_ms, Some(250));
+        assert_eq!(a.fuel, Some(100_000));
+        assert_eq!(a.max_depth, Some(512));
+        assert_eq!(a.memo_budget, Some(4_194_304));
+        let limits = governor_limits(&a);
+        assert_eq!(limits.deadline, Some(Duration::from_millis(250)));
+        assert!(!limits.is_unlimited());
+        // Without any governor flag, parses stay on the ungoverned path.
+        let b = parse_args(argv("parse g.mpeg --input x")).unwrap();
+        assert!(governor_limits(&b).is_unlimited());
+        assert!(parse_args(argv("parse g.mpeg --fuel lots")).is_err());
+    }
+
+    #[test]
     fn digit_edit_script_is_deterministic_and_applies_cleanly() {
         let text = "x = 12 + 345; y = 6;";
         let a = digit_edit_script(text, 8).unwrap();
@@ -493,7 +691,9 @@ mod tests {
         assert_eq!(a.engines.as_deref(), Some("opt-levels,codegen"));
         let b = parse_args(argv("fuzz --smoke")).unwrap();
         assert!(b.smoke && b.seeds.is_none());
-        // Every other command still requires grammar files.
+        // `fault` is also file-less; every other command still requires
+        // grammar files.
+        assert!(parse_args(argv("fault --smoke")).is_ok());
         assert!(parse_args(argv("check --dump")).is_err());
     }
 
@@ -502,5 +702,20 @@ mod tests {
         assert!(parse_args(argv("check g.mpeg --bogus")).is_err());
         assert!(parse_args(argv("check")).is_err());
         assert!(parse_args(vec![]).is_err());
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_documented() {
+        let cases = [
+            (CliError::Failure("f".into()), 1),
+            (CliError::Usage("u".into()), 2),
+            (CliError::Io("i".into()), 3),
+            (CliError::Abort("a".into()), 4),
+            (CliError::Internal("x".into()), 5),
+        ];
+        for (err, code) in &cases {
+            assert_eq!(err.exit_code(), *code);
+            assert!(!err.message().is_empty());
+        }
     }
 }

@@ -1,0 +1,113 @@
+//! End-to-end exit-code contract of the `modpeg` binary.
+//!
+//! The documented mapping (see `src/main.rs`): 0 success, 1 check failed
+//! (parse error, divergence, contract violation), 2 usage, 3 I/O,
+//! 4 resource abort, 5 internal. Resource aborts are deliberately distinct
+//! from parse failures: an abort is not a verdict on the input.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn calc_grammar() -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../grammars/grammars/calc.mpeg")
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Writes `contents` to a per-test temp file and returns its path.
+fn temp_input(name: &str, contents: &str) -> String {
+    let path = std::env::temp_dir().join(format!("modpeg-exit-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp input");
+    path.to_string_lossy().into_owned()
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_modpeg"))
+        .args(args)
+        .output()
+        .expect("spawn modpeg")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("process terminated by signal")
+}
+
+#[test]
+fn successful_parse_exits_zero() {
+    let input = temp_input("ok.calc", "1 + 2 * 3");
+    let out = run(&["parse", &calc_grammar(), "--input", &input]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Add"));
+}
+
+#[test]
+fn syntax_error_exits_one() {
+    let input = temp_input("bad.calc", "1 + * 2");
+    let out = run(&["parse", &calc_grammar(), "--input", &input]);
+    assert_eq!(exit_code(&out), 1, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let unknown_flag = run(&["parse", &calc_grammar(), "--frobnicate"]);
+    assert_eq!(exit_code(&unknown_flag), 2);
+    let unknown_command = run(&["transmogrify", &calc_grammar()]);
+    assert_eq!(exit_code(&unknown_command), 2);
+    let missing_input_flag = run(&["parse", &calc_grammar()]);
+    assert_eq!(exit_code(&missing_input_flag), 2);
+    let unknown_fuzz_grammar = run(&["fuzz", "--grammar", "fortran"]);
+    assert_eq!(exit_code(&unknown_fuzz_grammar), 2);
+}
+
+#[test]
+fn missing_files_exit_three() {
+    let missing_grammar = run(&["parse", "/nonexistent/g.mpeg", "--input", "/nonexistent/x"]);
+    assert_eq!(exit_code(&missing_grammar), 3);
+    let input = run(&["parse", &calc_grammar(), "--input", "/nonexistent/x.calc"]);
+    assert_eq!(exit_code(&input), 3);
+}
+
+#[test]
+fn resource_aborts_exit_four() {
+    let input = temp_input("fuel.calc", "1 + 2 * (3 - 4) / 5");
+    let starved = run(&["parse", &calc_grammar(), "--input", &input, "--fuel", "3"]);
+    assert_eq!(
+        exit_code(&starved),
+        4,
+        "stderr: {}",
+        String::from_utf8_lossy(&starved.stderr)
+    );
+    assert!(String::from_utf8_lossy(&starved.stderr).contains("abort"));
+
+    let shallow = run(&["parse", &calc_grammar(), "--input", &input, "--max-depth", "2"]);
+    assert_eq!(exit_code(&shallow), 4);
+
+    // The same input under generous limits parses fine — the abort was a
+    // budget verdict, not an input verdict.
+    let generous = run(&[
+        "parse",
+        &calc_grammar(),
+        "--input",
+        &input,
+        "--fuel",
+        "1000000",
+        "--max-depth",
+        "1024",
+        "--deadline-ms",
+        "10000",
+    ]);
+    assert_eq!(
+        exit_code(&generous),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&generous.stderr)
+    );
+}
+
+#[test]
+fn fault_smoke_campaign_exits_zero() {
+    let out = run(&["fault", "--grammar", "calc", "--smoke"]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("abort contract holds"));
+}

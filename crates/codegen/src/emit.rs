@@ -284,7 +284,7 @@ impl<'g> Emitter<'g> {
                 };
                 let _ = writeln!(
                     body,
-                    "        loop {{\n            let m = self.state.mark();\n            match {snip} {{\n                Ok((np, o)) => {{ if np == p {{ break; }} p = np; {push} }}\n                Err(_) => {{ self.state.rollback(m); break; }}\n            }}\n        }}"
+                    "        loop {{\n            self.guard()?;\n            let m = self.state.mark();\n            match {snip} {{\n                Ok((np, o)) => {{ if np == p {{ break; }} p = np; {push} }}\n                Err(_) => {{ self.state.rollback(m); break; }}\n            }}\n        }}"
                 );
                 if collect {
                     let _ = writeln!(body, "        let list = self.make_list(items);");
@@ -310,7 +310,7 @@ impl<'g> Emitter<'g> {
                 };
                 let _ = writeln!(
                     body,
-                    "        loop {{\n            let m = self.state.mark();\n            match {snip} {{\n                Ok((np, o)) => {{ if np == p {{ break; }} p = np; {push} }}\n                Err(_) => {{ self.state.rollback(m); break; }}\n            }}\n        }}"
+                    "        loop {{\n            self.guard()?;\n            let m = self.state.mark();\n            match {snip} {{\n                Ok((np, o)) => {{ if np == p {{ break; }} p = np; {push} }}\n                Err(_) => {{ self.state.rollback(m); break; }}\n            }}\n        }}"
                 );
                 if collect {
                     let _ = writeln!(body, "        let list = self.make_list(items);");
@@ -382,9 +382,12 @@ impl<'g> Emitter<'g> {
                 unreachable!("terminals are inlined at use sites")
             }
         }
+        // The public e-fn counts held expression frames (the same depth
+        // model as the interpreter: machine stack is proportional to
+        // composite-expression frames, not to production applications).
         let _ = writeln!(
             self.out,
-            "    fn e{eid}(&mut self, pos: u32) -> Result<(u32, Out), Fail> {{\n{body}    }}\n"
+            "    fn e{eid}(&mut self, pos: u32) -> Result<(u32, Out), Fail> {{\n        if self.depth >= self.max_depth {{\n            return Err(self.abort(ParseAbort::DepthExceeded));\n        }}\n        self.depth += 1;\n        let r = self.e{eid}_body(pos);\n        self.depth -= 1;\n        r\n    }}\n\n    fn e{eid}_body(&mut self, pos: u32) -> Result<(u32, Out), Fail> {{\n{body}    }}\n"
         );
     }
 
@@ -462,15 +465,19 @@ impl<'g> Emitter<'g> {
             } else {
                 ("true", "0")
             };
+            // The guard ticks *before* the probe so memo hits and misses
+            // cost the same fuel — fault injection relies on step counts
+            // being deterministic across cache states.
             let _ = writeln!(
                 self.out,
-                "        self.stats.memo_probes += 1;\n        if let Some(ans) = self.memo.probe({slot}, pos) {{\n            if {valid} {{\n                self.stats.memo_hits += 1;\n                return match &ans.outcome {{\n                    None => Err(Fail),\n                    Some((end, value)) => Ok((*end, value.clone())),\n                }};\n            }}\n        }}\n        self.stats.productions_evaluated += 1;\n        let r = self.p{p_idx}_impl(pos);\n        self.stats.memo_stores += 1;\n        let epoch = {epoch_expr};\n        let ans = match &r {{\n            Ok((end, v)) => MemoAnswer::success(epoch, *end, v.clone()),\n            Err(_) => MemoAnswer::fail(epoch),\n        }};\n        self.memo.store({slot}, pos, ans);\n        r\n    }}\n"
+                "        self.guard()?;\n        self.stats.memo_probes += 1;\n        if let Some(ans) = self.memo.probe({slot}, pos) {{\n            if {valid} {{\n                self.stats.memo_hits += 1;\n                return match &ans.outcome {{\n                    None => Err(Fail),\n                    Some((end, value)) => Ok((*end, value.clone())),\n                }};\n            }}\n        }}\n        self.stats.productions_evaluated += 1;\n        let r = self.p{p_idx}_impl(pos);\n        if self.aborted.is_none() && !self.memo_frozen {{\n            self.stats.memo_stores += 1;\n            let epoch = {epoch_expr};\n            let ans = match &r {{\n                Ok((end, v)) => MemoAnswer::success(epoch, *end, v.clone()),\n                Err(_) => MemoAnswer::fail(epoch),\n            }};\n            self.memo.store({slot}, pos, ans);\n            if self.memo_budget != u64::MAX && self.memo.retained_bytes() > self.memo_budget {{\n                self.enforce_memo_budget(pos);\n            }}\n        }}\n        r\n    }}\n"
             );
             let _ = writeln!(
                 self.out,
                 "    fn p{p_idx}_impl(&mut self, pos: u32) -> Result<(u32, Value), Fail> {{"
             );
         } else {
+            let _ = writeln!(self.out, "        self.guard()?;");
             let _ = writeln!(self.out, "        self.stats.productions_evaluated += 1;");
         }
         match &p.lr {
@@ -478,6 +485,9 @@ impl<'g> Emitter<'g> {
                 // Base: first matching base alternative becomes the seed.
                 let _ = writeln!(self.out, "        let (mut end, mut seed) = self.p{p_idx}_base(pos)?;");
                 let _ = writeln!(self.out, "        'grow: loop {{");
+                // One guard tick per growth round: unbounded growth is
+                // otherwise invisible to fuel and deadline accounting.
+                let _ = writeln!(self.out, "            self.guard()?;");
                 let has_dispatch = lr.tails.iter().any(|t| t.first.is_some());
                 if has_dispatch {
                     let _ = writeln!(self.out, "            let b = self.input.byte_at(end);");
@@ -563,8 +573,8 @@ impl<'g> Emitter<'g> {
 // `pub mod parser {{ include!(concat!(env!("OUT_DIR"), "/x_parser.rs")); }}`.
 
 use modpeg_runtime::{{
-    ChunkMemo, Fail, Failures, Input, MemoAnswer, MemoTable, NodeKind, Out, ParseError,
-    ScopedState, Span, Stats, SyntaxTree, Value,
+    ChunkMemo, Fail, Failures, Governor, Input, MemoAnswer, MemoTable, NodeKind, Out, ParseAbort,
+    ParseError, ParseFault, ScopedState, Span, Stats, SyntaxTree, Value, DEFAULT_MAX_DEPTH,
 }};
 
 /// Node-kind table.
@@ -583,6 +593,12 @@ pub struct Parser<'i> {{
     stats: Stats,
     suppress: u32,
     kinds: Vec<NodeKind>,
+    gov: Option<&'i Governor>,
+    aborted: Option<ParseAbort>,
+    depth: u32,
+    max_depth: u32,
+    memo_budget: u64,
+    memo_frozen: bool,
 }}
 
 impl<'i> Parser<'i> {{
@@ -598,7 +614,67 @@ impl<'i> Parser<'i> {{
             stats: Stats::default(),
             suppress: 0,
             kinds: K.iter().map(NodeKind::new).collect(),
+            gov: None,
+            aborted: None,
+            depth: 0,
+            max_depth: u32::MAX,
+            memo_budget: u64::MAX,
+            memo_frozen: false,
         }}
+    }}
+
+    fn install_governor(&mut self, gov: &'i Governor) {{
+        self.max_depth = gov.max_depth().unwrap_or(DEFAULT_MAX_DEPTH);
+        self.memo_budget = gov.memo_budget().unwrap_or(u64::MAX);
+        self.gov = Some(gov);
+    }}
+
+    #[inline]
+    fn guard(&mut self) -> Result<(), Fail> {{
+        if self.aborted.is_some() {{
+            return Err(Fail);
+        }}
+        if let Some(gov) = self.gov {{
+            if let Err(kind) = gov.tick() {{
+                self.aborted = Some(kind);
+                return Err(Fail);
+            }}
+        }}
+        Ok(())
+    }}
+
+    #[cold]
+    fn abort(&mut self, kind: ParseAbort) -> Fail {{
+        if let Some(gov) = self.gov {{
+            gov.trip(kind);
+        }}
+        if self.aborted.is_none() {{
+            self.aborted = Some(kind);
+        }}
+        Fail
+    }}
+
+    /// Graceful degradation when retained memo bytes exceed the budget:
+    /// evict cold columns first, then fall back to transient-only parsing,
+    /// and only abort when even an empty table is over budget.
+    #[cold]
+    fn enforce_memo_budget(&mut self, hot_from: u32) {{
+        if self.memo.retained_bytes() <= self.memo_budget {{
+            return;
+        }}
+        self.stats.gov_evictions += 1;
+        let freed = self.memo.evict_cold(hot_from).columns_freed;
+        self.stats.gov_columns_evicted += freed;
+        if self.memo.retained_bytes() <= self.memo_budget {{
+            return;
+        }}
+        self.memo_frozen = true;
+        self.stats.gov_transient_fallbacks += 1;
+        self.memo.evict_all();
+        if self.memo.retained_bytes() <= self.memo_budget {{
+            return;
+        }}
+        let _ = self.abort(ParseAbort::MemoBudget);
     }}
 
     fn note(&mut self, pos: u32, desc: &str) {{
@@ -720,6 +796,50 @@ pub fn parse_with_stats(text: &str) -> (Result<SyntaxTree, ParseError>, Stats) {
             Err(parser.failures.to_error(&parser.input))
         }}
         Err(_) => Err(parser.failures.to_error(&parser.input)),
+    }};
+    parser.stats.memo_bytes = parser.memo.retained_bytes();
+    (outcome, parser.stats)
+}}
+
+/// Parses `text` under `gov`'s resource limits, requiring full input
+/// consumption.
+///
+/// With an untripped governor and no limit exhausted this behaves exactly
+/// like [`parse_with_stats`]; when a budget runs out it returns
+/// [`ParseFault::Abort`] instead of looping, overflowing the stack, or
+/// growing the memo table without bound. The abort check runs before the
+/// nominal outcome: a parse that "succeeded" around an aborted
+/// sub-expression (e.g. under a `!p` predicate) is still reported as
+/// aborted.
+pub fn parse_governed(text: &str, gov: &Governor) -> (Result<SyntaxTree, ParseFault>, Stats) {{
+    if text.len() > u32::MAX as usize {{
+        // Spans and memo positions are 32-bit; refuse cleanly.
+        let input = Input::new("");
+        let mut failures = Failures::new();
+        failures.note(0, "input smaller than 4 GiB");
+        return (
+            Err(ParseFault::Syntax(failures.to_error(&input))),
+            Stats::default(),
+        );
+    }}
+    // A pre-cancelled or pre-expired governor aborts before any work.
+    if let Err(kind) = gov.poll() {{
+        return (Err(ParseFault::Abort(kind)), Stats::default());
+    }}
+    let mut parser = Parser::new(text);
+    parser.install_governor(gov);
+    let r = parser.p{root}(0);
+    let outcome = if let Some(kind) = parser.aborted {{
+        Err(ParseFault::Abort(kind))
+    }} else {{
+        match r {{
+            Ok((end, value)) if end == parser.input.len() => Ok(SyntaxTree::new(text, value)),
+            Ok((end, _)) => {{
+                parser.note(end, "end of input");
+                Err(ParseFault::Syntax(parser.failures.to_error(&parser.input)))
+            }}
+            Err(_) => Err(ParseFault::Syntax(parser.failures.to_error(&parser.input))),
+        }}
     }};
     parser.stats.memo_bytes = parser.memo.retained_bytes();
     (outcome, parser.stats)

@@ -1,0 +1,545 @@
+//! Fault injection: deterministic aborts and evictions at randomized
+//! evaluation points, checked across every engine.
+//!
+//! Fuel ticks are the injection vector. Every governed engine charges one
+//! fuel unit per guard check, so "abort after `k` ticks" names a
+//! deterministic, reproducible evaluation point anywhere inside a parse —
+//! including the middle of a memo probe, a repetition loop, or a
+//! left-recursion growth round. The harness first probes how many ticks a
+//! document costs, draws abort points from a seeded RNG, then re-runs each
+//! engine with exactly that much fuel and checks the abort contract:
+//!
+//! * the run reports [`ParseAbort::FuelExhausted`] — it never panics,
+//!   never spins, and never misreports the abort as a syntax verdict;
+//! * an aborted memo table is structurally sound (every occupied column
+//!   lies inside the input) and *semantically* sound: retrying on it
+//!   yields a tree identical to a from-scratch parse;
+//! * `apply_edit` on an aborted memo upholds the invalidation invariant,
+//!   and the edited reparse agrees with a scratch parse of the edited
+//!   text;
+//! * a [`ParseSession`] survives the abort and stays usable — ungoverned
+//!   reparse, then an edit, both agreeing with scratch;
+//! * memo-budget and depth ceilings degrade gracefully: an identical tree
+//!   or a structured abort, nothing in between;
+//! * a pre-cancelled governor aborts before any work;
+//! * the backtracking baseline's depth ceiling fails fast and never turns
+//!   a valid document into a confident rejection.
+//!
+//! Everything is keyed off [`FaultConfig::rng_seed`]; identical configs
+//! replay identical campaigns. The CLI front end is `modpeg fault`.
+
+use std::rc::Rc;
+
+use modpeg_baseline::BacktrackParser;
+use modpeg_interp::{CompiledGrammar, OptConfig};
+use modpeg_runtime::{
+    CancelToken, ChunkMemo, Governor, ParseAbort, ParseFault, SyntaxTree, DEFAULT_MAX_DEPTH,
+};
+use modpeg_session::ParseSession;
+use modpeg_workload::rng::StdRng;
+
+use crate::oracle::{clip, grammar_alphabet, memo_invariant_violation, random_edit};
+use crate::{fnv1a, GrammarId};
+
+/// One fault-injection campaign's knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Workload documents probed per grammar.
+    pub docs: u64,
+    /// Fuel abort points sampled per document per engine.
+    pub injections_per_doc: u32,
+    /// Approximate size of the larger workload documents (every other
+    /// document is kept small enough for the baseline engine).
+    pub doc_bytes: usize,
+    /// Base RNG seed; identical configs replay identical campaigns.
+    pub rng_seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            docs: 4,
+            injections_per_doc: 5,
+            doc_bytes: 220,
+            rng_seed: 0xFA17,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// The deterministic CI smoke preset: small, but still exercises every
+    /// abort variant on every engine.
+    pub fn smoke() -> Self {
+        FaultConfig {
+            docs: 2,
+            injections_per_doc: 3,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// Summary of one grammar's fault-injection campaign.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// The grammar probed.
+    pub grammar: &'static str,
+    /// Workload documents probed.
+    pub documents: u64,
+    /// Deterministic aborts injected (fuel points plus cancellations and
+    /// session aborts).
+    pub injections: u64,
+    /// Graceful-degradation runs (memo-budget and depth ceilings).
+    pub degradations: u64,
+    /// Contract violations found; empty on a clean campaign.
+    pub violations: Vec<String>,
+}
+
+impl FaultReport {
+    /// `true` when every injected fault upheld the abort contract.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs one fault-injection campaign over `id`.
+///
+/// # Errors
+///
+/// Fails only on grammar elaboration/compilation problems; contract
+/// violations are reported in the returned [`FaultReport`], not as errors.
+pub fn fault_grammar(id: GrammarId, cfg: &FaultConfig) -> Result<FaultReport, String> {
+    let grammar = id.elaborate()?;
+    let reference =
+        CompiledGrammar::compile(&grammar, OptConfig::all()).map_err(|e| e.to_string())?;
+    let incremental = Rc::new(
+        CompiledGrammar::compile(&grammar, OptConfig::incremental()).map_err(|e| e.to_string())?,
+    );
+    let baseline = BacktrackParser::new(&grammar);
+    let alphabet = grammar_alphabet(&grammar);
+    let mut rng = StdRng::seed_from_u64(cfg.rng_seed ^ fnv1a(id.name().as_bytes()));
+
+    let mut report = FaultReport {
+        grammar: id.name(),
+        documents: 0,
+        injections: 0,
+        degradations: 0,
+        violations: Vec::new(),
+    };
+    for doc_no in 0..cfg.docs {
+        // Every other document stays small enough for the exponential
+        // baseline recognizer; the rest use the configured size.
+        let target = if doc_no % 2 == 0 { 80 } else { cfg.doc_bytes };
+        let doc = id.workload(cfg.rng_seed.wrapping_add(doc_no), target);
+        report.documents += 1;
+        inject_document(
+            id,
+            &reference,
+            &incremental,
+            &baseline,
+            &alphabet,
+            &doc,
+            doc_no,
+            cfg,
+            &mut rng,
+            &mut report,
+        );
+    }
+    Ok(report)
+}
+
+/// Runs every injection family against one workload document.
+#[allow(clippy::too_many_arguments)]
+fn inject_document(
+    id: GrammarId,
+    reference: &CompiledGrammar,
+    incremental: &Rc<CompiledGrammar>,
+    baseline: &BacktrackParser<'_>,
+    alphabet: &[char],
+    doc: &str,
+    doc_no: u64,
+    cfg: &FaultConfig,
+    rng: &mut StdRng,
+    report: &mut FaultReport,
+) {
+    let name = id.name();
+    let ref_sexpr = match reference.parse(doc) {
+        Ok(tree) => tree.to_sexpr(),
+        Err(e) => {
+            report
+                .violations
+                .push(format!("{name}/doc{doc_no}: workload document rejected: {e}"));
+            return;
+        }
+    };
+    let len = doc.len() as u32;
+    let slots = incremental.memo_slot_count();
+
+    // ------------------------------------------------------------------
+    // Interpreter (incremental config): fuel injection on the memo path.
+    // ------------------------------------------------------------------
+    let probe = Governor::new();
+    let (r, probe_stats, _) =
+        incremental.parse_incremental_governed(doc, ChunkMemo::new(slots, len), &probe);
+    let total = probe.steps();
+    if !matches_reference(&r, &ref_sexpr) {
+        report.violations.push(format!(
+            "{name}/doc{doc_no}: unlimited governed interp parse diverged: {}",
+            describe(&r)
+        ));
+        return;
+    }
+
+    for fuel in fuel_points(total, cfg.injections_per_doc, rng) {
+        report.injections += 1;
+        let tag = format!("{name}/doc{doc_no}/interp fuel {fuel}/{total}");
+
+        let gov = Governor::new().with_fuel(fuel);
+        let (r, _, memo) =
+            incremental.parse_incremental_governed(doc, ChunkMemo::new(slots, len), &gov);
+        if abort_kind(&r) != Some(ParseAbort::FuelExhausted) {
+            report
+                .violations
+                .push(format!("{tag}: expected FuelExhausted, got {}", describe(&r)));
+            continue;
+        }
+        // Structural memo soundness: no occupied column starts outside
+        // the input. (Extents are deliberately *not* bounded by the input
+        // length — a failed literal match near EOF records the literal's
+        // full length as examined, a sound over-approximation. The
+        // `apply_edit` invariant below is the real extent oracle.)
+        for (pos, extent, entries) in memo.occupied_columns() {
+            if pos > len {
+                report.violations.push(format!(
+                    "{tag}: aborted memo column at {pos} (extent {extent}, {entries} entries) \
+                     starts outside the {len}-byte input"
+                ));
+            }
+        }
+        // Semantic memo soundness: a retry on the aborted table must
+        // reproduce the reference tree exactly.
+        let (r, _, memo) = incremental.parse_incremental_governed(doc, memo, &Governor::new());
+        if !matches_reference(&r, &ref_sexpr) {
+            report.violations.push(format!(
+                "{tag}: retry on aborted memo diverged: {}",
+                describe(&r)
+            ));
+        }
+        drop(memo);
+
+        // `apply_edit` on a freshly aborted memo. Carrying a memo across
+        // edits is unsound for stateful grammars with or without aborts
+        // (the session's fallback is the fix), so this leg is pure-only.
+        if !incremental.uses_state() {
+            let gov = Governor::new().with_fuel(fuel);
+            let (_, _, mut memo) =
+                incremental.parse_incremental_governed(doc, ChunkMemo::new(slots, len), &gov);
+            let (range, insert) = random_edit(doc, alphabet, rng);
+            let mut edited = doc.to_owned();
+            edited.replace_range(range.clone(), &insert);
+            memo.apply_edit(
+                range.start as u32,
+                (range.end - range.start) as u32,
+                insert.len() as u32,
+            );
+            if let Some(v) = memo_invariant_violation(&memo, range.start as u32, insert.len() as u32)
+            {
+                report
+                    .violations
+                    .push(format!("{tag}: after edit {range:?} -> {insert:?}: {v}"));
+            }
+            let (r, _, _) = incremental.parse_incremental_governed(&edited, memo, &Governor::new());
+            let scratch = incremental.parse(&edited);
+            // Verdict and tree must agree; failure offsets inside reused
+            // regions are documented to be coarser and are not compared.
+            let agree = match (&r, &scratch) {
+                (Ok(a), Ok(b)) => a.to_sexpr() == b.to_sexpr(),
+                (Err(fault), Err(_)) => fault.abort().is_none(),
+                _ => false,
+            };
+            if !agree {
+                report.violations.push(format!(
+                    "{tag}: edited reparse on aborted memo diverged from scratch on {edited:?}: {}",
+                    describe(&r)
+                ));
+            }
+        }
+    }
+
+    // Memo-budget degradation: half the observed footprint must still
+    // produce the reference tree (evicting or falling back to transient
+    // parsing); a near-zero budget may abort but must stay structured.
+    for budget in [probe_stats.memo_bytes / 2, 64] {
+        report.degradations += 1;
+        let gov = Governor::new().with_memo_budget(budget.max(1));
+        let (r, _, _) =
+            incremental.parse_incremental_governed(doc, ChunkMemo::new(slots, len), &gov);
+        let ok = matches_reference(&r, &ref_sexpr)
+            || abort_kind(&r) == Some(ParseAbort::MemoBudget);
+        if !ok {
+            report.violations.push(format!(
+                "{name}/doc{doc_no}: interp memo budget {budget}: expected reference tree or \
+                 MemoBudget abort, got {}",
+                describe(&r)
+            ));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Generated parser: fuel, depth, memo-budget, and cancellation.
+    // ------------------------------------------------------------------
+    let probe = Governor::new();
+    let (r, gen_stats) = id.codegen_parse_governed(doc, &probe);
+    let total_gen = probe.steps();
+    if !matches_reference(&r, &ref_sexpr) {
+        report.violations.push(format!(
+            "{name}/doc{doc_no}: unlimited governed generated parse diverged: {}",
+            describe(&r)
+        ));
+        return;
+    }
+
+    for fuel in fuel_points(total_gen, cfg.injections_per_doc, rng) {
+        report.injections += 1;
+        let gov = Governor::new().with_fuel(fuel);
+        let (r, _) = id.codegen_parse_governed(doc, &gov);
+        if abort_kind(&r) != Some(ParseAbort::FuelExhausted)
+            || gov.tripped() != Some(ParseAbort::FuelExhausted)
+        {
+            report.violations.push(format!(
+                "{name}/doc{doc_no}/codegen fuel {fuel}/{total_gen}: expected FuelExhausted \
+                 (tripped {:?}), got {}",
+                gov.tripped(),
+                describe(&r)
+            ));
+        }
+    }
+
+    report.degradations += 1;
+    let gov = Governor::new().with_max_depth(8);
+    let (r, _) = id.codegen_parse_governed(doc, &gov);
+    let ok = matches_reference(&r, &ref_sexpr) || abort_kind(&r) == Some(ParseAbort::DepthExceeded);
+    if !ok {
+        report.violations.push(format!(
+            "{name}/doc{doc_no}: codegen depth ceiling 8: expected reference tree or \
+             DepthExceeded abort, got {}",
+            describe(&r)
+        ));
+    }
+
+    for budget in [gen_stats.memo_bytes / 2, 64] {
+        report.degradations += 1;
+        let gov = Governor::new().with_memo_budget(budget.max(1));
+        let (r, _) = id.codegen_parse_governed(doc, &gov);
+        let ok = matches_reference(&r, &ref_sexpr)
+            || abort_kind(&r) == Some(ParseAbort::MemoBudget);
+        if !ok {
+            report.violations.push(format!(
+                "{name}/doc{doc_no}: codegen memo budget {budget}: expected reference tree or \
+                 MemoBudget abort, got {}",
+                describe(&r)
+            ));
+        }
+    }
+
+    report.injections += 1;
+    let token = CancelToken::new();
+    token.cancel();
+    let gov = Governor::new().with_cancel(token);
+    let (r, _) = id.codegen_parse_governed(doc, &gov);
+    if abort_kind(&r) != Some(ParseAbort::Cancelled) || gov.steps() != 0 {
+        report.violations.push(format!(
+            "{name}/doc{doc_no}: pre-cancelled governor did {} step(s) and returned {}",
+            gov.steps(),
+            describe(&r)
+        ));
+    }
+
+    // ------------------------------------------------------------------
+    // Session: abort mid-parse, then prove the session is still usable.
+    // ------------------------------------------------------------------
+    report.injections += 1;
+    let tag = format!("{name}/doc{doc_no}/session");
+    let mut session = ParseSession::new(incremental.clone(), doc.to_owned());
+    let fuel = if total > 1 { rng.gen_range(1..total) } else { 0 };
+    match session.parse_governed(&Governor::new().with_fuel(fuel)) {
+        Err(ParseFault::Abort(ParseAbort::FuelExhausted)) => {}
+        Err(other) => report.violations.push(format!(
+            "{tag}: fuel {fuel}/{total}: expected FuelExhausted, got {other}"
+        )),
+        Ok(_) => report.violations.push(format!(
+            "{tag}: fuel {fuel}/{total}: parse completed under starvation fuel"
+        )),
+    }
+    match session.parse() {
+        Ok(t) if t.to_sexpr() == ref_sexpr => {}
+        other => report.violations.push(format!(
+            "{tag}: ungoverned reparse after abort diverged: {:?}",
+            other.map(|t| clip(&t.to_sexpr()))
+        )),
+    }
+    let (range, insert) = random_edit(session.text(), alphabet, rng);
+    session.apply_edit(range.clone(), &insert);
+    let incremental_outcome = session.parse();
+    let scratch = incremental.parse(session.text());
+    let agree = match (&incremental_outcome, &scratch) {
+        (Ok(a), Ok(b)) => a.to_sexpr() == b.to_sexpr(),
+        (Err(_), Err(_)) => true,
+        _ => false,
+    };
+    if !agree {
+        report.violations.push(format!(
+            "{tag}: edit {range:?} -> {insert:?} after abort diverged from scratch on {:?}",
+            session.text()
+        ));
+    }
+
+    // ------------------------------------------------------------------
+    // Baseline: the depth ceiling fails fast and stays conservative.
+    // ------------------------------------------------------------------
+    if doc.len() <= 120 {
+        report.degradations += 1;
+        let shallow = baseline.recognize_with_depth(doc, 12);
+        if !shallow.depth_exceeded && shallow.result.is_err() {
+            report.violations.push(format!(
+                "{name}/doc{doc_no}: baseline rejected a valid document at {:?} without \
+                 reporting its depth ceiling",
+                shallow.result
+            ));
+        }
+        let full = baseline.recognize_with_depth(doc, DEFAULT_MAX_DEPTH);
+        if full.depth_exceeded || full.result.is_err() {
+            report.violations.push(format!(
+                "{name}/doc{doc_no}: baseline failed a valid document under the default \
+                 ceiling (depth_exceeded: {})",
+                full.depth_exceeded
+            ));
+        }
+    }
+}
+
+/// Deterministic fuel abort points: always the first tick and the last
+/// tick before completion, plus RNG-drawn interior points.
+fn fuel_points(total: u64, per_doc: u32, rng: &mut StdRng) -> Vec<u64> {
+    let mut points = Vec::new();
+    if total == 0 {
+        return points;
+    }
+    points.push(0);
+    if total > 1 {
+        points.push(total - 1);
+    }
+    while (points.len() as u32) < per_doc && total > 2 {
+        points.push(rng.gen_range(1..total - 1));
+    }
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+/// The abort kind of a faulted result, if any.
+fn abort_kind(r: &Result<SyntaxTree, ParseFault>) -> Option<ParseAbort> {
+    r.as_ref().err().and_then(ParseFault::abort)
+}
+
+/// Whether a governed result accepted with exactly the reference tree.
+fn matches_reference(r: &Result<SyntaxTree, ParseFault>, ref_sexpr: &str) -> bool {
+    matches!(r, Ok(tree) if tree.to_sexpr() == ref_sexpr)
+}
+
+/// Renders a governed outcome for violation messages.
+fn describe(r: &Result<SyntaxTree, ParseFault>) -> String {
+    match r {
+        Ok(tree) => format!("accept {}", clip(&tree.to_sexpr())),
+        Err(ParseFault::Syntax(e)) => format!("syntax error at offset {}", e.offset()),
+        Err(ParseFault::Abort(kind)) => format!("abort: {kind:?}"),
+    }
+}
+
+/// Asserts a smoke fault-injection campaign over the named grammar finds
+/// no contract violations — the one-line form committed regression tests
+/// use.
+///
+/// # Panics
+///
+/// Panics with every violation found, or when the grammar is unknown.
+pub fn assert_fault_injection_clean(grammar: &str) {
+    let id = GrammarId::from_name(grammar)
+        .unwrap_or_else(|| panic!("unknown grammar {grammar:?}"));
+    let report = fault_grammar(id, &FaultConfig::smoke()).expect("engines compile");
+    assert!(
+        report.clean(),
+        "fault-injection contract violations on {grammar}:\n{:#?}",
+        report.violations
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuel_points_are_deterministic_bounded_and_deduped() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let pa = fuel_points(1000, 6, &mut a);
+        let pb = fuel_points(1000, 6, &mut b);
+        assert_eq!(pa, pb);
+        assert!(pa.contains(&0) && pa.contains(&999));
+        assert!(pa.windows(2).all(|w| w[0] < w[1]));
+        assert!(pa.iter().all(|&f| f < 1000));
+        assert!(fuel_points(0, 4, &mut a).is_empty());
+        assert_eq!(fuel_points(1, 4, &mut a), vec![0]);
+        assert_eq!(fuel_points(2, 4, &mut a), vec![0, 1]);
+    }
+
+    #[test]
+    fn smoke_campaign_is_clean_on_every_grammar() {
+        for id in GrammarId::ALL {
+            let report = fault_grammar(id, &FaultConfig::smoke()).unwrap();
+            assert!(
+                report.clean(),
+                "{}: {:#?}",
+                id.name(),
+                report.violations
+            );
+            assert!(report.documents > 0);
+            assert!(report.injections > 0, "{}: nothing injected", id.name());
+            assert!(report.degradations > 0);
+        }
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let cfg = FaultConfig::smoke();
+        let a = fault_grammar(GrammarId::Calc, &cfg).unwrap();
+        let b = fault_grammar(GrammarId::Calc, &cfg).unwrap();
+        assert_eq!(a.injections, b.injections);
+        assert_eq!(a.degradations, b.degradations);
+        assert_eq!(a.violations, b.violations);
+    }
+
+    #[test]
+    fn fuel_equal_to_the_probe_total_completes() {
+        let doc = GrammarId::Calc.workload(7, 120);
+        let grammar = GrammarId::Calc.elaborate().unwrap();
+        let parser = CompiledGrammar::compile(&grammar, OptConfig::incremental()).unwrap();
+        let probe = Governor::new();
+        let memo = ChunkMemo::new(parser.memo_slot_count(), doc.len() as u32);
+        let (r, _, _) = parser.parse_incremental_governed(&doc, memo, &probe);
+        assert!(r.is_ok());
+        let total = probe.steps();
+        // Exactly the probed fuel completes; one tick less aborts.
+        let exact = Governor::new().with_fuel(total);
+        let memo = ChunkMemo::new(parser.memo_slot_count(), doc.len() as u32);
+        assert!(parser.parse_incremental_governed(&doc, memo, &exact).0.is_ok());
+        let starved = Governor::new().with_fuel(total - 1);
+        let memo = ChunkMemo::new(parser.memo_slot_count(), doc.len() as u32);
+        let (r, _, _) = parser.parse_incremental_governed(&doc, memo, &starved);
+        assert_eq!(abort_kind(&r), Some(ParseAbort::FuelExhausted));
+    }
+
+    #[test]
+    fn assert_helper_accepts_clean_grammars() {
+        assert_fault_injection_clean("json");
+    }
+}

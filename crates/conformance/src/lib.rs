@@ -21,11 +21,13 @@
 //! The CLI front end is `modpeg fuzz` (see `crates/cli`); deterministic
 //! seeds make every run reproducible.
 
+pub mod fault;
 pub mod gen;
 pub mod mutate;
 pub mod oracle;
 pub mod shrink;
 
+pub use fault::{assert_fault_injection_clean, fault_grammar, FaultConfig, FaultReport};
 pub use gen::{GenConfig, Generator};
 pub use mutate::mutate;
 pub use oracle::{EngineSet, Oracle};
@@ -33,7 +35,7 @@ pub use shrink::ddmin;
 
 use modpeg_core::Grammar;
 use modpeg_interp::{CompiledGrammar, OptConfig};
-use modpeg_runtime::{ParseError, SyntaxTree};
+use modpeg_runtime::{Governor, ParseError, ParseFault, Stats, SyntaxTree};
 use modpeg_workload::rng::StdRng;
 
 /// The named grammars the harness can fuzz (those with build-time
@@ -97,6 +99,23 @@ impl GrammarId {
             GrammarId::Json => g::json::parse(input),
             GrammarId::Java => g::java::parse(input),
             GrammarId::C => g::c::parse(input),
+        }
+    }
+
+    /// Runs the build-time generated parser under `gov`'s resource limits
+    /// — the entry point the fault-injection harness ([`fault`]) aborts
+    /// at deterministic fuel points.
+    pub fn codegen_parse_governed(
+        self,
+        input: &str,
+        gov: &Governor,
+    ) -> (Result<SyntaxTree, ParseFault>, Stats) {
+        use modpeg_grammars::generated as g;
+        match self {
+            GrammarId::Calc => g::calc::parse_governed(input, gov),
+            GrammarId::Json => g::json::parse_governed(input, gov),
+            GrammarId::Java => g::java::parse_governed(input, gov),
+            GrammarId::C => g::c::parse_governed(input, gov),
         }
     }
 

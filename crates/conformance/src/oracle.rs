@@ -161,7 +161,7 @@ impl Outcome {
     }
 }
 
-fn clip(s: &str) -> String {
+pub(crate) fn clip(s: &str) -> String {
     if s.len() > 160 {
         let cut = (0..=160).rev().find(|i| s.is_char_boundary(*i)).unwrap_or(0);
         format!("{}…", &s[..cut])
@@ -370,7 +370,7 @@ impl<'g> Oracle<'g> {
 /// Checks the post-`apply_edit` soundness invariant: every surviving
 /// occupied column's recorded lookahead lies entirely left of the edit, or
 /// the column sits at/after the end of the inserted text.
-fn memo_invariant_violation(memo: &ChunkMemo, lo: u32, inserted: u32) -> Option<String> {
+pub(crate) fn memo_invariant_violation(memo: &ChunkMemo, lo: u32, inserted: u32) -> Option<String> {
     for (pos, extent, entries) in memo.occupied_columns() {
         let left_ok = u64::from(pos) + u64::from(extent) <= u64::from(lo);
         let right_ok = pos >= lo + inserted;
@@ -385,7 +385,7 @@ fn memo_invariant_violation(memo: &ChunkMemo, lo: u32, inserted: u32) -> Option<
 }
 
 /// A random char-boundary edit: replace `range` with `insert`.
-fn random_edit(
+pub(crate) fn random_edit(
     doc: &str,
     alphabet: &[char],
     rng: &mut StdRng,
@@ -411,7 +411,7 @@ fn random_edit(
 
 /// The characters a grammar's terminals mention: literal characters plus
 /// the endpoints of every non-negated class range (and whitespace).
-fn grammar_alphabet(grammar: &Grammar) -> Vec<char> {
+pub(crate) fn grammar_alphabet(grammar: &Grammar) -> Vec<char> {
     let mut set = BTreeSet::new();
     for (_, prod) in grammar.iter() {
         for expr in prod.exprs() {

@@ -6,8 +6,9 @@
 
 use modpeg_core::{ProdId, ProdKind};
 use modpeg_runtime::{
-    ChunkMemo, Fail, Failures, HashMemo, Input, MemoAnswer, MemoTable, NodeKind, Out, ParseError,
-    ScopedState, Span, Stats, SyntaxTree, Value,
+    ChunkMemo, Fail, Failures, Governor, HashMemo, Input, MemoAnswer, MemoTable, NodeKind, Out,
+    ParseAbort, ParseError, ParseFault, ScopedState, Span, Stats, SyntaxTree, Value,
+    DEFAULT_MAX_DEPTH,
 };
 
 use crate::compile::{CAlt, CExpr, CompiledGrammar, EId};
@@ -75,6 +76,22 @@ struct Run<'g, 'i> {
     coverage: Option<crate::Coverage>,
     /// Chronological tracing, when requested.
     trace: Option<crate::Trace>,
+    /// Resource governor for this run, when the parse is governed.
+    gov: Option<&'g Governor>,
+    /// First abort observed. Once set, every memo store is suppressed and
+    /// every guard fails, so the run unwinds without corrupting the table;
+    /// the top level trusts this field over the unwind's nominal outcome
+    /// (a `!p` predicate can invert an abort-induced failure).
+    aborted: Option<ParseAbort>,
+    /// Production applications currently on the call stack.
+    depth: u32,
+    /// Recursion ceiling ([`u32::MAX`] for ungoverned runs).
+    max_depth: u32,
+    /// Memo-byte budget ([`u64::MAX`] for ungoverned runs).
+    memo_budget: u64,
+    /// Set when the memo-budget ladder reached transient-only parsing:
+    /// existing entries are still served, but nothing new is stored.
+    memo_frozen: bool,
 }
 
 impl<'g, 'i> Run<'g, 'i> {
@@ -101,13 +118,111 @@ impl<'g, 'i> Run<'g, 'i> {
             suppress: 0,
             coverage: None,
             trace: None,
+            gov: None,
+            aborted: None,
+            depth: 0,
+            max_depth: u32::MAX,
+            memo_budget: u64::MAX,
+            memo_frozen: false,
         }
+    }
+
+    /// Puts the run under `gov`'s limits. Unset governor limits fall back
+    /// to [`DEFAULT_MAX_DEPTH`] (stack safety is non-negotiable once a run
+    /// is governed) and an unlimited memo budget.
+    fn install_governor(&mut self, gov: &'g Governor) {
+        self.max_depth = gov.max_depth().unwrap_or(DEFAULT_MAX_DEPTH);
+        self.memo_budget = gov.memo_budget().unwrap_or(u64::MAX);
+        self.gov = Some(gov);
     }
 
     fn note(&mut self, pos: u32, desc: &str) {
         if self.suppress == 0 {
             self.failures.note(pos, desc);
         }
+    }
+
+    // ----- resource governance -----
+
+    /// One evaluation step: fails when the run has already aborted or the
+    /// governor's fuel/deadline/cancellation trips. Ungoverned runs pay one
+    /// branch on `aborted` and one on `gov`.
+    #[inline]
+    fn guard(&mut self) -> Result<(), Fail> {
+        if self.aborted.is_some() {
+            return Err(Fail);
+        }
+        if let Some(gov) = self.gov {
+            if let Err(kind) = gov.tick() {
+                self.aborted = Some(kind);
+                return Err(Fail);
+            }
+        }
+        Ok(())
+    }
+
+    /// Records the run's first abort (and trips the governor so concurrent
+    /// observers see it), returning the `Fail` to unwind with.
+    #[cold]
+    fn abort(&mut self, kind: ParseAbort) -> Fail {
+        if let Some(gov) = self.gov {
+            gov.trip(kind);
+        }
+        if self.aborted.is_none() {
+            self.aborted = Some(kind);
+        }
+        Fail
+    }
+
+    /// Stores a memo answer unless the run has aborted (in-flight results
+    /// may be tainted) or fell back to transient-only parsing, then
+    /// enforces the memo budget (`retained_bytes` is O(1) counter
+    /// arithmetic for both table flavours, so budgeted runs can afford the
+    /// check on every store).
+    fn store_answer(&mut self, slot: u32, pos: u32, ans: MemoAnswer) {
+        if self.aborted.is_some() || self.memo_frozen {
+            return;
+        }
+        self.memo.store(slot, pos, ans);
+        self.stats.memo_stores += 1;
+        if self.memo_budget != u64::MAX && self.memo.retained_bytes() > self.memo_budget {
+            self.enforce_memo_budget(pos);
+        }
+    }
+
+    /// The memo-budget degradation ladder: evict cold columns first, fall
+    /// back to transient-only parsing second, abort only when even the
+    /// empty table exceeds the budget.
+    #[cold]
+    fn enforce_memo_budget(&mut self, hot_from: u32) {
+        if self.memo.retained_bytes() <= self.memo_budget {
+            return;
+        }
+        // Rung 1: memo entries are a pure cache, so dropping the cold ones
+        // (strictly left of the current position) can never change the
+        // result — only cost re-evaluation on a far-left backtrack.
+        self.stats.gov_evictions += 1;
+        let freed = match &mut self.memo {
+            Memo::Hash(m) => m.purge(),
+            Memo::Chunk(m) => m.evict_cold(hot_from).columns_freed,
+        };
+        self.stats.gov_columns_evicted += freed;
+        if self.memo.retained_bytes() <= self.memo_budget {
+            return;
+        }
+        // Rung 2: stop memoizing entirely and release everything; parsing
+        // continues correctly (memoization is transparent), just slower.
+        self.memo_frozen = true;
+        self.stats.gov_transient_fallbacks += 1;
+        if let Memo::Chunk(m) = &mut self.memo {
+            m.evict_all();
+        }
+        if self.memo.retained_bytes() <= self.memo_budget {
+            return;
+        }
+        // Rung 3: the irreducible floor (the chunk table's column pointer
+        // array) is itself over budget.
+        self.abort(ParseAbort::MemoBudget);
     }
 
     // ----- input access (with lookahead accounting) -----
@@ -200,6 +315,10 @@ impl<'g, 'i> Run<'g, 'i> {
     // ----- productions -----
 
     fn eval_prod(&mut self, id: ProdId, pos: u32) -> Result<(u32, Value), Fail> {
+        // Ticking before the memo probe keeps the fuel cost of a position
+        // uniform across hits and misses, which is what makes fuel-based
+        // fault injection deterministic.
+        self.guard()?;
         let g = self.g;
         let p = &g.prods[id.index()];
         if let Some(slot) = p.memo_slot {
@@ -264,13 +383,12 @@ impl<'g, 'i> Run<'g, 'i> {
         if let Some(slot) = p.memo_slot {
             // The seed-growing strategy stores its own final answer.
             if p.lr.is_none() || g.cfg.left_recursion_iter {
-                self.stats.memo_stores += 1;
                 let epoch = if p.epoch_check { self.state.epoch() } else { 0 };
                 let ans = match &result {
                     Ok((end, v)) => MemoAnswer::success(epoch, *end, v.clone()),
                     Err(_) => MemoAnswer::fail(epoch),
                 };
-                self.memo.store(slot, pos, ans);
+                self.store_answer(slot, pos, ans);
             }
             let high = self.examined;
             self.memo.record_extent(pos, high.saturating_sub(pos));
@@ -374,6 +492,7 @@ impl<'g, 'i> Run<'g, 'i> {
         let (mut end, mut seed) = self.eval_alts(id, true, pos)?;
         let tails = &p.lr.as_ref().expect("caller checked").tails;
         'grow: loop {
+            self.guard()?;
             let byte = self.peek_byte(end);
             for tail in tails {
                 if let Some((first, desc)) = &tail.first {
@@ -422,14 +541,27 @@ impl<'g, 'i> Run<'g, 'i> {
         let slot = p
             .memo_slot
             .expect("left-recursive productions always have a slot");
+        // Seed stores are part of the left-recursion protocol, not a cache:
+        // the nested self-application must find them or recurse forever
+        // (until the depth ceiling). They therefore bypass the transient-
+        // only `memo_frozen` fallback — but not an abort, whose in-flight
+        // results may be tainted.
         let epoch = if p.epoch_check { self.state.epoch() } else { 0 };
-        self.memo.store(slot, pos, MemoAnswer::fail(epoch));
-        self.stats.memo_stores += 1;
+        if self.aborted.is_none() {
+            self.memo.store(slot, pos, MemoAnswer::fail(epoch));
+            self.stats.memo_stores += 1;
+        }
         let mut best: Option<(u32, Value)> = None;
         loop {
+            if self.aborted.is_some() {
+                break;
+            }
             let r = self.eval_alts(id, false, pos);
             match r {
                 Ok((end, v)) if best.as_ref().is_none_or(|(b, _)| end > *b) => {
+                    if self.aborted.is_some() {
+                        break;
+                    }
                     self.memo
                         .store(slot, pos, MemoAnswer::success(epoch, end, v.clone()));
                     self.stats.memo_stores += 1;
@@ -443,7 +575,22 @@ impl<'g, 'i> Run<'g, 'i> {
 
     // ----- expressions -----
 
+    /// Depth-guarded expression evaluation. Depth counts *expression
+    /// frames* rather than production applications: production bodies can
+    /// be arbitrarily large (inlining makes them larger still), so only a
+    /// per-`eval` count tracks actual machine-stack consumption closely
+    /// enough to make a ceiling meaningful across grammars.
     fn eval(&mut self, eid: EId, pos: u32, want: bool) -> EvalResult {
+        if self.depth >= self.max_depth {
+            return Err(self.abort(ParseAbort::DepthExceeded));
+        }
+        self.depth += 1;
+        let r = self.eval_expr(eid, pos, want);
+        self.depth -= 1;
+        r
+    }
+
+    fn eval_expr(&mut self, eid: EId, pos: u32, want: bool) -> EvalResult {
         let g = self.g;
         match &g.exprs[eid as usize] {
             CExpr::Empty => Ok((pos, Out::None)),
@@ -658,6 +805,9 @@ impl<'g, 'i> Run<'g, 'i> {
         let mut p = pos;
         let mut items: Vec<Value> = Vec::new();
         loop {
+            // A repetition over bare terminals never reaches `eval_prod`,
+            // so it must tick on its own to stay interruptible.
+            self.guard()?;
             let mark = self.state.mark();
             match self.eval(inner, p, want) {
                 Ok((np, out)) => {
@@ -695,6 +845,7 @@ impl<'g, 'i> Run<'g, 'i> {
         pos: u32,
         want: bool,
     ) -> EvalResult {
+        self.guard()?;
         let epoch_check = self.g.reads_state[eid as usize];
         self.stats.memo_probes += 1;
         if let Some(ans) = self.memo.probe(slot, pos) {
@@ -702,11 +853,9 @@ impl<'g, 'i> Run<'g, 'i> {
                 self.stats.memo_stale += 1;
             } else {
                 self.stats.memo_hits += 1;
-                let hit = match &ans.outcome {
-                    // Star always succeeds; a failure entry is impossible.
-                    None => None,
-                    Some((end, value)) => Some((*end, value.clone())),
-                };
+                // Star always succeeds, so a failure entry (`None`) is
+                // impossible; the arm below maps it to failure anyway.
+                let hit = ans.outcome.as_ref().map(|(end, value)| (*end, value.clone()));
                 let ext = self.memo.extent_at(pos);
                 self.examined = self.examined.max(pos.saturating_add(ext));
                 return match hit {
@@ -718,6 +867,13 @@ impl<'g, 'i> Run<'g, 'i> {
             }
         }
         self.stats.productions_evaluated += 1;
+        // The desugared helper recurses once per repetition item, so it
+        // consumes call stack like any production chain and must respect
+        // the same ceiling.
+        if self.depth >= self.max_depth {
+            return Err(self.abort(ParseAbort::DepthExceeded));
+        }
+        self.depth += 1;
         let outer_examined = self.examined;
         self.examined = pos;
         let mark = self.state.mark();
@@ -727,6 +883,7 @@ impl<'g, 'i> Run<'g, 'i> {
                 let (end, rest) = match rest {
                     Ok(r) => r,
                     Err(e) => {
+                        self.depth -= 1;
                         self.examined = outer_examined.max(self.examined);
                         return Err(e);
                     }
@@ -752,15 +909,14 @@ impl<'g, 'i> Run<'g, 'i> {
                 }
             }
         };
+        self.depth -= 1;
         let encoded = match &result.1 {
             Out::None => Value::Unit,
             Out::One(v) => v.clone(),
             Out::Many(_) => unreachable!("repetitions produce lists"),
         };
         let epoch = if epoch_check { self.state.epoch() } else { 0 };
-        self.memo
-            .store(slot, pos, MemoAnswer::success(epoch, result.0, encoded));
-        self.stats.memo_stores += 1;
+        self.store_answer(slot, pos, MemoAnswer::success(epoch, result.0, encoded));
         let high = self.examined;
         self.memo.record_extent(pos, high.saturating_sub(pos));
         self.examined = outer_examined.max(high);
@@ -777,6 +933,7 @@ impl<'g, 'i> Run<'g, 'i> {
         pos: u32,
         want: bool,
     ) -> EvalResult {
+        self.guard()?;
         let epoch_check = self.g.reads_state[eid as usize];
         self.stats.memo_probes += 1;
         let mut hit: Option<(u32, Value)> = None;
@@ -810,9 +967,7 @@ impl<'g, 'i> Run<'g, 'i> {
             Out::Many(_) => unreachable!("normalize_opt removed Many"),
         };
         let epoch = if epoch_check { self.state.epoch() } else { 0 };
-        self.memo
-            .store(slot, pos, MemoAnswer::success(epoch, end, encoded));
-        self.stats.memo_stores += 1;
+        self.store_answer(slot, pos, MemoAnswer::success(epoch, end, encoded));
         let high = self.examined;
         self.memo.record_extent(pos, high.saturating_sub(pos));
         self.examined = outer_examined.max(high);
@@ -828,6 +983,28 @@ impl<'g, 'i> Run<'g, 'i> {
 
 fn seq_out(values: Vec<Value>) -> Out {
     Out::from_values(values)
+}
+
+/// Interprets a governed run's top-level result. The abort check comes
+/// first and overrides the nominal outcome: once a run aborts, the
+/// unwinding value is untrustworthy (a `!p` predicate on the unwind path
+/// converts the abort-induced failure into a success it never earned).
+fn governed_outcome(
+    run: &mut Run<'_, '_>,
+    text: &str,
+    result: Result<(u32, Value), Fail>,
+) -> Result<SyntaxTree, ParseFault> {
+    if let Some(kind) = run.aborted {
+        return Err(ParseFault::Abort(kind));
+    }
+    match result {
+        Ok((end, value)) if end == run.input.len() => Ok(SyntaxTree::new(text, value)),
+        Ok((end, _)) => {
+            run.note(end, "end of input");
+            Err(ParseFault::Syntax(run.failures.to_error(&run.input)))
+        }
+        Err(_) => Err(ParseFault::Syntax(run.failures.to_error(&run.input))),
+    }
 }
 
 /// The name a state operation works with: the operand's first textual
@@ -1002,6 +1179,132 @@ impl CompiledGrammar {
             }
             Err(_) => Err(run.failures.to_error(&run.input)),
         };
+        run.finish_stats();
+        let mut stats = std::mem::take(&mut run.stats);
+        let Memo::Chunk(mut memo) = run.memo else {
+            unreachable!("installed as Chunk above")
+        };
+        stats.memo_entries_shifted += memo.take_entries_shifted();
+        (outcome, stats, memo)
+    }
+
+    /// Parses `text` under `gov`'s resource limits (deadline, fuel,
+    /// cancellation, recursion depth, memo budget).
+    ///
+    /// Governed parses are the untrusted-input entry point: they can never
+    /// overflow the stack (a governor without an explicit depth limit gets
+    /// [`DEFAULT_MAX_DEPTH`]), spin past their deadline/fuel, or outgrow
+    /// their memo budget — over-budget runs first evict cold memo columns,
+    /// then fall back to transient-only parsing, and only abort as a last
+    /// resort. The same `Governor` must not be reused for another parse
+    /// without [`Governor::reset`] (a tripped governor is sticky).
+    ///
+    /// # Errors
+    ///
+    /// [`ParseFault::Syntax`] carries an ordinary [`ParseError`];
+    /// [`ParseFault::Abort`] reports which limit stopped the run. An abort
+    /// is not a verdict on the input — retrying with a larger budget may
+    /// succeed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use modpeg_core::{CharClass, Expr, GrammarBuilder, ProdKind};
+    /// use modpeg_interp::{CompiledGrammar, OptConfig};
+    /// use modpeg_runtime::{Governor, ParseAbort};
+    ///
+    /// let mut b = GrammarBuilder::new("m");
+    /// b.production("Word", ProdKind::Text, vec![(None, Expr::Capture(Box::new(
+    ///     Expr::Plus(Box::new(Expr::Class(CharClass::from_ranges(
+    ///         vec![('a', 'z')], false)))))))]);
+    /// let grammar = b.build("Word")?;
+    /// let parser = CompiledGrammar::compile(&grammar, OptConfig::all())?;
+    ///
+    /// let generous = Governor::new().with_fuel(10_000);
+    /// assert!(parser.parse_governed("hello", &generous).0.is_ok());
+    ///
+    /// let starved = Governor::new().with_fuel(0);
+    /// let (result, _) = parser.parse_governed("hello", &starved);
+    /// assert_eq!(result.unwrap_err().abort(), Some(ParseAbort::FuelExhausted));
+    /// # Ok::<(), modpeg_core::Diagnostics>(())
+    /// ```
+    pub fn parse_governed(
+        &self,
+        text: &str,
+        gov: &Governor,
+    ) -> (Result<SyntaxTree, ParseFault>, Stats) {
+        if text.len() > u32::MAX as usize {
+            let input = Input::new("");
+            let mut failures = Failures::new();
+            failures.note(0, "input smaller than 4 GiB");
+            return (
+                Err(ParseFault::Syntax(failures.to_error(&input))),
+                Stats::default(),
+            );
+        }
+        // A pre-cancelled or pre-expired governor aborts before any work.
+        if let Err(kind) = gov.poll() {
+            return (Err(ParseFault::Abort(kind)), Stats::default());
+        }
+        let mut run = Run::new(self, text);
+        run.install_governor(gov);
+        let result = run.eval_prod(self.root, 0);
+        let outcome = governed_outcome(&mut run, text, result);
+        run.finish_stats();
+        (outcome, run.stats)
+    }
+
+    /// The governed counterpart of [`CompiledGrammar::parse_incremental`]:
+    /// parses with (and returns) a caller-supplied [`ChunkMemo`] under
+    /// `gov`'s limits.
+    ///
+    /// The memo table comes back in a consistent state even when the parse
+    /// aborts mid-flight — entries stored before the abort are complete
+    /// answers, and nothing is stored afterwards. Reusing those entries
+    /// for a retry is sound whenever the grammar was compiled with the
+    /// `left-recursion` optimization (e.g. [`OptConfig::incremental`]);
+    /// without it, Warth-style seed growing parks provisional answers in
+    /// the table mid-evaluation, so an aborted run's memo must be reset
+    /// before reuse.
+    ///
+    /// [`OptConfig::incremental`]: crate::OptConfig::incremental
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledGrammar::parse_governed`]; the memo table is returned
+    /// in every case.
+    pub fn parse_incremental_governed(
+        &self,
+        text: &str,
+        mut memo: ChunkMemo,
+        gov: &Governor,
+    ) -> (Result<SyntaxTree, ParseFault>, Stats, ChunkMemo) {
+        if text.len() > u32::MAX as usize {
+            let input = Input::new("");
+            let mut failures = Failures::new();
+            failures.note(0, "input smaller than 4 GiB");
+            memo.reset_for(self.n_slots, 0);
+            return (
+                Err(ParseFault::Syntax(failures.to_error(&input))),
+                Stats::default(),
+                memo,
+            );
+        }
+        if !self.cfg.chunks {
+            let (result, stats) = self.parse_governed(text, gov);
+            return (result, stats, memo);
+        }
+        if let Err(kind) = gov.poll() {
+            return (Err(ParseFault::Abort(kind)), Stats::default(), memo);
+        }
+        if !memo.fits(self.n_slots, text.len() as u32) {
+            memo.reset_for(self.n_slots, text.len() as u32);
+        }
+        let mut run = Run::new(self, text);
+        run.memo = Memo::Chunk(memo);
+        run.install_governor(gov);
+        let result = run.eval_prod(self.root, 0);
+        let outcome = governed_outcome(&mut run, text, result);
         run.finish_stats();
         let mut stats = std::mem::take(&mut run.stats);
         let Memo::Chunk(mut memo) = run.memo else {
@@ -1686,6 +1989,172 @@ mod tests {
             let c = CompiledGrammar::compile(&g, cfg).unwrap();
             assert!(c.uses_state(), "{cfg:?}");
         }
+    }
+
+    #[test]
+    fn governed_parse_without_limits_matches_ungoverned() {
+        let g = calc_grammar();
+        for cfg in all_configs() {
+            let c = CompiledGrammar::compile(&g, cfg).unwrap();
+            for input in ["7", "1+2*3-4", "(1-2)*(3+4)", "1+", ""] {
+                let gov = Governor::new();
+                let (governed, _) = c.parse_governed(input, &gov);
+                match (c.parse(input), governed) {
+                    (Ok(a), Ok(b)) => assert_eq!(a.to_sexpr(), b.to_sexpr(), "{cfg:?} {input}"),
+                    (Err(a), Err(b)) => {
+                        let fault = b.syntax().expect("no limits, so only syntax faults");
+                        assert_eq!(a.offset(), fault.offset(), "{cfg:?} {input}");
+                    }
+                    (a, b) => panic!("{cfg:?} diverged on {input:?}: {a:?} vs {b:?}"),
+                }
+                assert!(gov.tripped().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn fuel_abort_is_deterministic_then_retry_succeeds() {
+        let g = calc_grammar();
+        for cfg in [OptConfig::none(), OptConfig::all(), OptConfig::incremental()] {
+            let c = CompiledGrammar::compile(&g, cfg).unwrap();
+            let input = "(1+2)*(3-4)+(5+6)*7";
+            let probe = Governor::new();
+            assert!(c.parse_governed(input, &probe).0.is_ok());
+            let total = probe.steps();
+            assert!(total > 10, "expected a nontrivial step count, got {total}");
+            // Starving the parse at any point aborts with FuelExhausted...
+            for fuel in [0, 1, total / 2, total - 1] {
+                let gov = Governor::new().with_fuel(fuel);
+                let (r, _) = c.parse_governed(input, &gov);
+                assert_eq!(r.unwrap_err().abort(), Some(ParseAbort::FuelExhausted), "{cfg:?} fuel={fuel}");
+                assert_eq!(gov.tripped(), Some(ParseAbort::FuelExhausted));
+            }
+            // ...exactly `total` steps suffice, and the result is identical.
+            let gov = Governor::new().with_fuel(total);
+            let (r, _) = c.parse_governed(input, &gov);
+            assert_eq!(
+                r.unwrap().to_sexpr(),
+                c.parse(input).unwrap().to_sexpr(),
+                "{cfg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_ceiling_aborts_instead_of_overflowing() {
+        let g = calc_grammar();
+        // 20_000 nested parens would overflow any test-thread stack; the
+        // default ceiling must turn that into a structured abort.
+        let deep = format!("{}1{}", "(".repeat(20_000), ")".repeat(20_000));
+        for cfg in [OptConfig::none(), OptConfig::all()] {
+            let c = CompiledGrammar::compile(&g, cfg).unwrap();
+            let gov = Governor::new();
+            let (r, _) = c.parse_governed(&deep, &gov);
+            assert_eq!(r.unwrap_err().abort(), Some(ParseAbort::DepthExceeded), "{cfg:?}");
+        }
+        // A tight explicit ceiling rejects shallow nesting a generous one
+        // accepts.
+        let mild = format!("{}1{}", "(".repeat(50), ")".repeat(50));
+        let c = CompiledGrammar::compile(&g, OptConfig::all()).unwrap();
+        let tight = Governor::new().with_max_depth(40);
+        assert_eq!(
+            c.parse_governed(&mild, &tight).0.unwrap_err().abort(),
+            Some(ParseAbort::DepthExceeded)
+        );
+        let roomy = Governor::new().with_max_depth(1_000);
+        assert!(c.parse_governed(&mild, &roomy).0.is_ok());
+    }
+
+    #[test]
+    fn pre_cancelled_and_pre_expired_governors_abort_immediately() {
+        let g = calc_grammar();
+        let c = CompiledGrammar::compile(&g, OptConfig::all()).unwrap();
+        let token = modpeg_runtime::CancelToken::new();
+        token.cancel();
+        let gov = Governor::new().with_cancel(token);
+        let (r, stats) = c.parse_governed("1+2", &gov);
+        assert_eq!(r.unwrap_err().abort(), Some(ParseAbort::Cancelled));
+        assert_eq!(stats.productions_evaluated, 0);
+        let gov = Governor::new().with_deadline(std::time::Duration::ZERO);
+        let (r, _) = c.parse_governed("1+2", &gov);
+        assert_eq!(r.unwrap_err().abort(), Some(ParseAbort::DeadlineExceeded));
+    }
+
+    #[test]
+    fn memo_budget_degrades_gracefully_before_aborting() {
+        let g = calc_grammar();
+        let c = CompiledGrammar::compile(&g, OptConfig::all()).unwrap();
+        let input = vec!["(1+2)*(3-4)*(5+6)"; 80].join("+");
+        let unbounded = Governor::new();
+        let (r, full_stats) = c.parse_governed(&input, &unbounded);
+        assert!(r.is_ok());
+        assert!(full_stats.memo_bytes > 4_096, "{full_stats:?}");
+        // A budget well below the natural footprint: the ladder evicts
+        // and/or goes transient, but the parse still completes correctly.
+        let budget = full_stats.memo_bytes / 4;
+        let gov = Governor::new().with_memo_budget(budget);
+        let (r, stats) = c.parse_governed(&input, &gov);
+        assert_eq!(
+            r.unwrap().to_sexpr(),
+            c.parse(&input).unwrap().to_sexpr()
+        );
+        assert!(
+            stats.gov_evictions > 0 || stats.gov_transient_fallbacks > 0,
+            "budget {budget} never triggered the ladder: {stats:?}"
+        );
+        assert!(stats.memo_bytes <= budget, "{stats:?}");
+        // A budget below the irreducible floor aborts with MemoBudget.
+        let gov = Governor::new().with_memo_budget(16);
+        let (r, _) = c.parse_governed(&input, &gov);
+        assert_eq!(r.unwrap_err().abort(), Some(ParseAbort::MemoBudget));
+    }
+
+    #[test]
+    fn aborted_incremental_parse_leaves_memo_reusable() {
+        let g = calc_grammar();
+        let c = CompiledGrammar::compile(&g, OptConfig::incremental()).unwrap();
+        let text = "(1+2)*(3+4)+(5-6)*(7+8)";
+        // Abort at various points; retrying with the surviving memo must
+        // agree with a scratch parse (the `left-recursion` optimization is
+        // on, so pre-abort entries are complete answers).
+        let probe = Governor::new();
+        let memo = ChunkMemo::new(c.memo_slot_count(), text.len() as u32);
+        let (r, _, memo) = c.parse_incremental_governed(text, memo, &probe);
+        assert!(r.is_ok());
+        let total = probe.steps();
+        let mut memo = memo;
+        memo.reset_for(c.memo_slot_count(), text.len() as u32);
+        for fuel in [1, total / 3, 2 * total / 3] {
+            let gov = Governor::new().with_fuel(fuel);
+            let (r, _, survived) = c.parse_incremental_governed(text, memo, &gov);
+            assert_eq!(r.unwrap_err().abort(), Some(ParseAbort::FuelExhausted));
+            // Every surviving column still respects the extent invariant
+            // that apply_edit relies on (extents are recorded alongside
+            // the stores that happened, none after the abort).
+            for (pos, extent, _) in survived.occupied_columns() {
+                assert!(pos.saturating_add(extent) <= text.len() as u32 + 1);
+            }
+            let retry = Governor::new();
+            let (r, _, m) = c.parse_incremental_governed(text, survived, &retry);
+            assert_eq!(
+                r.unwrap().to_sexpr(),
+                c.parse(text).unwrap().to_sexpr(),
+                "retry after fuel={fuel} diverged"
+            );
+            memo = m;
+            memo.reset_for(c.memo_slot_count(), text.len() as u32);
+        }
+        // apply_edit after an abort stays sound: edit, then reparse.
+        let gov = Governor::new().with_fuel(total / 2);
+        let (r, _, mut survived) = c.parse_incremental_governed(text, memo, &gov);
+        assert!(r.is_err());
+        let edited = "(1+2)*(30+4)+(5-6)*(7+8)";
+        survived.apply_edit(7, 1, 2);
+        let (r, _, _) = c.parse_incremental_governed(edited, survived, &Governor::new());
+        assert_eq!(
+            r.unwrap().to_sexpr(),
+            c.parse(edited).unwrap().to_sexpr()
+        );
     }
 
     #[test]

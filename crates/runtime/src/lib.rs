@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod governor;
 mod input;
 mod memo;
 mod navigate;
@@ -45,8 +46,11 @@ mod stats;
 mod value;
 
 pub use error::{Failures, ParseError};
+pub use governor::{
+    CancelToken, Governor, GovernorLimits, ParseAbort, ParseFault, DEFAULT_MAX_DEPTH, POLL_STRIDE,
+};
 pub use input::Input;
-pub use memo::{ChunkMemo, EditReport, HashMemo, MemoAnswer, MemoTable, CHUNK_SIZE};
+pub use memo::{ChunkMemo, EditReport, EvictReport, HashMemo, MemoAnswer, MemoTable, CHUNK_SIZE};
 pub use out::Out;
 pub use span::{LineCol, LineMap, Span};
 pub use state::{ScopedState, StateMark};

@@ -82,6 +82,15 @@ impl HashMemo {
     pub fn new() -> Self {
         HashMemo::default()
     }
+
+    /// Drops every entry *and* the map's capacity, actually releasing the
+    /// memory (the hash-map arm of the memo-budget degradation ladder —
+    /// there is no column structure to evict selectively).
+    pub fn purge(&mut self) -> u64 {
+        let dropped = self.map.len() as u64;
+        self.map = std::collections::HashMap::new();
+        dropped
+    }
 }
 
 impl MemoTable for HashMemo {
@@ -156,17 +165,28 @@ impl Column {
         let bias = std::mem::take(&mut self.bias);
         let mut shifted = 0u64;
         for chunk in self.chunks.iter_mut().flatten() {
-            for cell in chunk.iter_mut() {
-                if let Some(answer) = cell {
-                    if let Some((end, value)) = answer.outcome.take() {
-                        answer.outcome = Some(((end as i64 + bias) as u32, value.shifted(bias)));
-                    }
-                    shifted += 1;
+            for answer in chunk.iter_mut().flatten() {
+                if let Some((end, value)) = answer.outcome.take() {
+                    answer.outcome = Some(((end as i64 + bias) as u32, value.shifted(bias)));
                 }
+                shifted += 1;
             }
         }
         shifted
     }
+}
+
+/// Outcome of [`ChunkMemo::evict_cold`] / [`ChunkMemo::evict_all`]: how
+/// much memory an eviction actually released.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictReport {
+    /// Columns whose allocations were freed outright.
+    pub columns_freed: u64,
+    /// Memo entries discarded with them.
+    pub entries_dropped: u64,
+    /// Retained-byte estimate released ([`MemoTable::retained_bytes`]
+    /// before minus after).
+    pub bytes_freed: u64,
 }
 
 /// Outcome of [`ChunkMemo::apply_edit`]: how much memoized work survived.
@@ -208,7 +228,9 @@ pub struct ChunkMemo {
     allocated_chunks: u64,
     allocated_columns: u64,
     /// Cleared columns awaiting reuse (session pooling): allocations from
-    /// invalidated or reset columns are recycled instead of freed.
+    /// invalidated or reset columns are recycled instead of freed. Kept
+    /// boxed so columns move between here and `columns` without copying.
+    #[allow(clippy::vec_box)]
     spare: Vec<Box<Column>>,
     /// Entries whose spans have been translated by lazy settling since the
     /// last [`ChunkMemo::take_entries_shifted`].
@@ -278,6 +300,7 @@ impl ChunkMemo {
     }
 
     /// Fetches a recycled column, or allocates a fresh one.
+    #[allow(clippy::vec_box)]
     fn fresh_column(spare: &mut Vec<Box<Column>>, n_chunks: usize, allocated: &mut u64) -> Box<Column> {
         spare.pop().unwrap_or_else(|| {
             *allocated += 1;
@@ -363,6 +386,45 @@ impl ChunkMemo {
             }
         }
         report
+    }
+
+    /// Frees one column outright (allocation returned to the OS, not the
+    /// spare pool), keeping the byte accounting exact.
+    fn free_column(&mut self, col: Box<Column>, report: &mut EvictReport) {
+        report.columns_freed += 1;
+        report.entries_dropped += u64::from(col.count);
+        self.stored -= u64::from(col.count);
+        self.allocated_columns -= 1;
+        self.allocated_chunks -= col.chunks.iter().flatten().count() as u64;
+        drop(col);
+    }
+
+    /// Releases the memory of every *cold* column — those at positions
+    /// strictly left of `hot_from` — plus the spare pool, actually freeing
+    /// the allocations (unlike invalidation, which recycles them).
+    ///
+    /// This is the first rung of the memo-budget degradation ladder: memo
+    /// entries are a pure cache, so dropping them can never change a parse
+    /// result, only cost re-evaluation if the parser backtracks far left.
+    pub fn evict_cold(&mut self, hot_from: u32) -> EvictReport {
+        let before = self.retained_bytes();
+        let mut report = EvictReport::default();
+        for pos in 0..(self.columns.len().min(hot_from as usize)) {
+            if let Some(col) = self.columns[pos].take() {
+                self.free_column(col, &mut report);
+            }
+        }
+        for col in std::mem::take(&mut self.spare) {
+            self.free_column(col, &mut report);
+        }
+        report.bytes_freed = before - self.retained_bytes();
+        report
+    }
+
+    /// Releases every column and the spare pool; only the (input-sized)
+    /// column pointer array remains. The last rung before giving up.
+    pub fn evict_all(&mut self) -> EvictReport {
+        self.evict_cold(u32::MAX)
     }
 
     /// Re-shapes the table for a fresh parse of `n_slots` productions over
@@ -705,6 +767,85 @@ mod tests {
             );
         }
         assert_eq!(m.occupied_columns().count(), 2);
+    }
+
+    #[test]
+    fn evict_cold_frees_left_columns_and_spares() {
+        let mut m = ChunkMemo::new(5, 40);
+        for pos in [2u32, 10, 20, 30] {
+            m.store(0, pos, success(pos + 1));
+            m.record_extent(pos, 1);
+        }
+        // Invalidate one column into the spare pool first.
+        m.apply_edit(10, 1, 1);
+        assert_eq!(m.entries(), 3);
+        let before = m.retained_bytes();
+        let report = m.evict_cold(25);
+        // Columns 2 and 20 freed, plus the spare from the invalidation.
+        assert_eq!(report.columns_freed, 3);
+        assert_eq!(report.entries_dropped, 2);
+        assert!(report.bytes_freed > 0);
+        assert_eq!(m.retained_bytes(), before - report.bytes_freed);
+        assert_eq!(m.probe(0, 2), None);
+        assert_eq!(m.probe(0, 20), None);
+        // The hot column survives untouched.
+        assert_eq!(m.probe(0, 30), Some(&success(31)));
+        assert_eq!(m.entries(), 1);
+        // Accounting still exact: new stores re-allocate from scratch.
+        let cols = m.columns_allocated();
+        m.store(0, 2, fail());
+        assert_eq!(m.columns_allocated(), cols + 1);
+    }
+
+    #[test]
+    fn evict_all_leaves_only_the_pointer_array() {
+        let mut m = ChunkMemo::new(5, 10);
+        for pos in 0..8 {
+            m.store(0, pos, fail());
+        }
+        let report = m.evict_all();
+        assert_eq!(report.columns_freed, 8);
+        assert_eq!(report.entries_dropped, 8);
+        assert_eq!(m.entries(), 0);
+        assert_eq!(m.columns_allocated(), 0);
+        assert_eq!(m.chunks_allocated(), 0);
+        assert!(m.occupied_columns().next().is_none());
+        // The table still works after a full eviction.
+        m.store(0, 3, fail());
+        assert_eq!(m.probe(0, 3), Some(&fail()));
+    }
+
+    #[test]
+    fn eviction_preserves_occupied_columns_invariant_after_edit() {
+        // Mid-life eviction composed with an edit: the survivors must
+        // still satisfy the apply_edit soundness invariant.
+        let mut m = ChunkMemo::new(5, 30);
+        for pos in [1u32, 5, 12, 20, 25] {
+            m.store(0, pos, success(pos + 2));
+            m.record_extent(pos, 2);
+        }
+        m.evict_cold(10);
+        let (lo, removed, inserted) = (14u32, 2u32, 5u32);
+        m.apply_edit(lo, removed, inserted);
+        for (pos, extent, _) in m.occupied_columns() {
+            assert!(
+                pos + extent <= lo || pos >= lo + inserted,
+                "column {pos} (extent {extent}) overlaps the edit"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_memo_purge_releases_capacity() {
+        let mut m = HashMemo::new();
+        for pos in 0..100 {
+            m.store(0, pos, fail());
+        }
+        assert!(m.retained_bytes() > 0);
+        assert_eq!(m.purge(), 100);
+        assert_eq!(m.entries(), 0);
+        assert_eq!(m.retained_bytes(), 0);
+        assert_eq!(m.probe(0, 5), None);
     }
 
     #[test]

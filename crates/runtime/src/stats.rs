@@ -63,6 +63,14 @@ pub struct Stats {
     /// Incremental reparse: carried-over memo entries whose spans were
     /// translated to post-edit coordinates.
     pub memo_entries_shifted: u64,
+    /// Governed parse: eviction passes run because the memo-byte budget
+    /// was exceeded (first rung of the degradation ladder).
+    pub gov_evictions: u64,
+    /// Governed parse: memo columns freed by those eviction passes.
+    pub gov_columns_evicted: u64,
+    /// Governed parse: times the parse fell back to transient-only
+    /// memoization (second rung — no further memo stores).
+    pub gov_transient_fallbacks: u64,
 }
 
 impl Stats {
@@ -100,6 +108,9 @@ impl Stats {
         self.memo_columns_reused += other.memo_columns_reused;
         self.memo_columns_invalidated += other.memo_columns_invalidated;
         self.memo_entries_shifted += other.memo_entries_shifted;
+        self.gov_evictions += other.gov_evictions;
+        self.gov_columns_evicted += other.gov_columns_evicted;
+        self.gov_transient_fallbacks += other.gov_transient_fallbacks;
     }
 }
 
@@ -139,6 +150,13 @@ impl fmt::Display for Stats {
                 f,
                 "\nincremental: {} columns reused, {} invalidated, {} entries shifted",
                 self.memo_columns_reused, self.memo_columns_invalidated, self.memo_entries_shifted
+            )?;
+        }
+        if self.gov_evictions > 0 || self.gov_transient_fallbacks > 0 {
+            write!(
+                f,
+                "\ngovernor: {} evictions ({} columns), {} transient fallbacks",
+                self.gov_evictions, self.gov_columns_evicted, self.gov_transient_fallbacks
             )?;
         }
         Ok(())

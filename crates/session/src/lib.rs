@@ -50,11 +50,14 @@
 #![warn(missing_docs)]
 
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use modpeg_interp::CompiledGrammar;
-use modpeg_runtime::{ChunkMemo, ParseError, Stats, SyntaxTree};
+use modpeg_runtime::{
+    ChunkMemo, Governor, GovernorLimits, ParseAbort, ParseError, ParseFault, Stats, SyntaxTree,
+};
 
 /// An incremental parse session: one document, one memo table, reparsed
 /// after each batch of edits with memoized results reused where sound.
@@ -201,6 +204,46 @@ impl ParseSession {
         result
     }
 
+    /// Like [`ParseSession::parse`], but under `gov`'s resource limits.
+    ///
+    /// On abort the session stays fully usable: the document is untouched,
+    /// and a later [`ParseSession::parse`] (or a governed retry with a
+    /// fresh or [reset] governor) picks up where the session left off.
+    /// Memo entries stored before the abort are carried into the retry
+    /// when that is sound — the grammar must be incremental-reusable *and*
+    /// compiled with the `left-recursion` optimization (Warth-style seed
+    /// growing parks provisional answers in the table mid-evaluation, so
+    /// without it an aborted run's memo is discarded instead).
+    ///
+    /// [reset]: Governor::reset
+    ///
+    /// # Errors
+    ///
+    /// [`ParseFault::Syntax`] exactly when [`ParseSession::parse`] would
+    /// fail; [`ParseFault::Abort`] when a resource budget ran out first.
+    pub fn parse_governed(&mut self, gov: &Governor) -> Result<SyntaxTree, ParseFault> {
+        if !self.reusable || !self.primed {
+            self.memo
+                .reset_for(self.grammar.memo_slot_count(), self.doc.len() as u32);
+        }
+        let memo = std::mem::replace(&mut self.memo, ChunkMemo::new(0, 0));
+        let (result, mut stats, memo) = self.grammar.parse_incremental_governed(&self.doc, memo, gov);
+        self.memo = memo;
+        // An aborted run's table holds only complete answers, but under
+        // seed-growing left recursion it may also hold parked provisional
+        // seeds — only fold-based left recursion makes retry reuse sound.
+        self.primed = match &result {
+            Err(ParseFault::Abort(_)) => self.reusable && self.grammar.config().left_recursion_iter,
+            _ => true,
+        };
+        stats.memo_columns_reused += self.pending.memo_columns_reused;
+        stats.memo_columns_invalidated += self.pending.memo_columns_invalidated;
+        self.pending = Stats::default();
+        self.total_stats.absorb(&stats);
+        self.last_stats = stats;
+        result
+    }
+
     /// Statistics of the most recent [`ParseSession::parse`], including
     /// the column reuse/invalidation counts of the edits that preceded it.
     pub fn last_stats(&self) -> &Stats {
@@ -292,6 +335,13 @@ pub struct BatchResult {
     pub ok: bool,
     /// The rendered parse error, when it did not.
     pub error: Option<String>,
+    /// The resource budget that ran out, when the parse aborted rather
+    /// than failed.
+    pub aborted: Option<ParseAbort>,
+    /// Whether the job panicked. The panic was contained: the worker kept
+    /// going, and the session it was using was quarantined (dropped, not
+    /// recycled into the pool).
+    pub panicked: bool,
     /// The parse's statistics.
     pub stats: Stats,
     /// Document size in bytes.
@@ -350,7 +400,29 @@ impl BatchEngine {
     /// Parses every document of `docs`, returning one [`BatchResult`] per
     /// document in corpus order. `factory` is called once per worker to
     /// build its grammar.
+    ///
+    /// Each job runs behind a panic barrier: a panic anywhere in one
+    /// document's parse is contained to that document (reported via
+    /// [`BatchResult::panicked`]), its session is quarantined instead of
+    /// recycled, and the worker moves on to the next document.
     pub fn parse_corpus<F, S>(&self, factory: F, docs: &[S]) -> Vec<BatchResult>
+    where
+        F: Fn() -> CompiledGrammar + Send + Sync,
+        S: AsRef<str> + Sync,
+    {
+        self.parse_corpus_governed(factory, docs, &GovernorLimits::none())
+    }
+
+    /// Like [`BatchEngine::parse_corpus`], applying `limits` to every
+    /// document: each job gets its own [`Governor`] minted from `limits`,
+    /// so per-parse deadlines and budgets are enforced independently.
+    /// Aborted documents come back with [`BatchResult::aborted`] set.
+    pub fn parse_corpus_governed<F, S>(
+        &self,
+        factory: F,
+        docs: &[S],
+        limits: &GovernorLimits,
+    ) -> Vec<BatchResult>
     where
         F: Fn() -> CompiledGrammar + Send + Sync,
         S: AsRef<str> + Sync,
@@ -371,17 +443,7 @@ impl BatchEngine {
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(doc) = docs.get(i) else { break };
-                            let text = doc.as_ref();
-                            let mut session = pool.session(text);
-                            let parsed = session.parse();
-                            out.push(BatchResult {
-                                index: i,
-                                ok: parsed.is_ok(),
-                                error: parsed.err().map(|e| e.to_string()),
-                                stats: session.last_stats().clone(),
-                                bytes: text.len() as u64,
-                            });
-                            pool.recycle(session);
+                            out.push(Self::run_job(&mut pool, i, doc, limits));
                         }
                         out
                     })
@@ -393,6 +455,57 @@ impl BatchEngine {
         });
         results.sort_by_key(|r| r.index);
         results
+    }
+
+    /// One corpus job behind its panic barrier.
+    ///
+    /// `AssertUnwindSafe` is justified by quarantine: if the closure
+    /// panics, the session it was mutating (and the memo table inside it)
+    /// is dropped rather than recycled, so no poisoned state re-enters the
+    /// pool — `pool.free` itself is only touched by `Vec::pop`/`push`,
+    /// which leave it valid at every panic point.
+    fn run_job<S: AsRef<str>>(
+        pool: &mut SessionPool,
+        index: usize,
+        doc: &S,
+        limits: &GovernorLimits,
+    ) -> BatchResult {
+        let job = catch_unwind(AssertUnwindSafe(|| {
+            let text = doc.as_ref();
+            let mut session = pool.session(text);
+            let parsed = if limits.is_unlimited() {
+                session.parse().map_err(ParseFault::Syntax)
+            } else {
+                session.parse_governed(&limits.governor())
+            };
+            let result = BatchResult {
+                index,
+                ok: parsed.is_ok(),
+                error: parsed.as_ref().err().map(|e| e.to_string()),
+                aborted: parsed.err().and_then(|f| f.abort()),
+                panicked: false,
+                stats: session.last_stats().clone(),
+                bytes: text.len() as u64,
+            };
+            pool.recycle(session);
+            result
+        }));
+        job.unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            BatchResult {
+                index,
+                ok: false,
+                error: Some(format!("parser panicked: {msg}")),
+                aborted: None,
+                panicked: true,
+                stats: Stats::default(),
+                bytes: 0,
+            }
+        })
     }
 }
 
@@ -652,6 +765,180 @@ mod tests {
                 assert!(r.stats.productions_evaluated > 0);
             }
         }
+    }
+
+    #[test]
+    fn session_stays_usable_after_every_abort_variant() {
+        use modpeg_runtime::CancelToken;
+        use std::time::Duration;
+        let parser = calc();
+        let doc = modpeg_workload::calc_expression(11, 400);
+        let scratch = parser.parse(&doc).unwrap().to_sexpr();
+        let aborts: Vec<(ParseAbort, Governor)> = vec![
+            (ParseAbort::FuelExhausted, Governor::new().with_fuel(3)),
+            (
+                ParseAbort::DeadlineExceeded,
+                Governor::new().with_deadline(Duration::ZERO),
+            ),
+            (ParseAbort::Cancelled, {
+                let token = CancelToken::new();
+                token.cancel();
+                Governor::new().with_cancel(token)
+            }),
+            (ParseAbort::DepthExceeded, Governor::new().with_max_depth(2)),
+            (ParseAbort::MemoBudget, Governor::new().with_memo_budget(16)),
+        ];
+        for (expected, gov) in aborts {
+            let mut session = ParseSession::new(parser.clone(), doc.clone());
+            let fault = session.parse_governed(&gov).unwrap_err();
+            assert_eq!(fault.abort(), Some(expected));
+            // The session recovers: an ungoverned parse succeeds...
+            assert_eq!(session.parse().unwrap().to_sexpr(), scratch, "{expected:?}");
+            // ...and so does editing + reparsing after a second abort
+            // (zero fuel trips on the very first tick, memo hits or not).
+            let gov2 = Governor::new().with_fuel(0);
+            assert!(session.parse_governed(&gov2).is_err());
+            session.apply_edit(0..0, "0+");
+            let edited = session.parse().unwrap().to_sexpr();
+            assert_eq!(
+                edited,
+                parser.parse(session.text()).unwrap().to_sexpr(),
+                "{expected:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn governed_retry_reuses_memo_only_under_fold_left_recursion() {
+        // Fold-based left recursion (OptConfig::incremental) leaves only
+        // complete answers behind an abort: the retry may keep the table,
+        // and therefore re-evaluates fewer productions than a scratch
+        // parse of the same text.
+        let parser = calc();
+        let doc = modpeg_workload::calc_expression(3, 400);
+        let mut session = ParseSession::new(parser.clone(), doc.clone());
+        let probe = Governor::new();
+        let reference = session.parse_governed(&probe).unwrap().to_sexpr();
+        let total = probe.steps();
+        let scratch_evals = session.last_stats().productions_evaluated;
+        let mut session = ParseSession::new(parser.clone(), doc.clone());
+        let gov = Governor::new().with_fuel(total / 2);
+        assert!(session.parse_governed(&gov).is_err());
+        let retry = session.parse_governed(&Governor::new()).unwrap();
+        assert_eq!(retry.to_sexpr(), reference);
+        assert!(
+            session.last_stats().productions_evaluated < scratch_evals,
+            "retry should reuse pre-abort answers: {} vs scratch {}",
+            session.last_stats().productions_evaluated,
+            scratch_evals
+        );
+        // Warth-style seed growing parks provisional seeds mid-evaluation:
+        // the session must discard the aborted run's table instead, so the
+        // retry re-does the full scratch amount of work.
+        let mut cfg = OptConfig::incremental();
+        assert!(cfg.set("left-recursion", false));
+        let g = modpeg_grammars::calc_grammar().unwrap();
+        let seeded = Rc::new(CompiledGrammar::compile(&g, cfg).unwrap());
+        let mut session = ParseSession::new(seeded.clone(), doc.clone());
+        session.parse().unwrap();
+        let scratch_evals = session.last_stats().productions_evaluated;
+        let mut session = ParseSession::new(seeded.clone(), doc.clone());
+        let gov = Governor::new().with_fuel(total / 2);
+        assert!(session.parse_governed(&gov).is_err());
+        let retry = session.parse_governed(&Governor::new()).unwrap();
+        assert_eq!(retry.to_sexpr(), reference);
+        assert_eq!(
+            session.last_stats().productions_evaluated,
+            scratch_evals,
+            "seed-growing retry must start from an empty table"
+        );
+    }
+
+    #[test]
+    fn batch_engine_quarantines_panicking_jobs() {
+        /// A corpus item whose text access panics: stands in for any panic
+        /// inside one job (the barrier wraps the whole per-document parse).
+        struct Doc(&'static str, bool);
+        impl AsRef<str> for Doc {
+            fn as_ref(&self) -> &str {
+                assert!(!self.1, "injected corpus panic");
+                self.0
+            }
+        }
+        let docs = [
+            Doc("1+2", false),
+            Doc("poison", true),
+            Doc("3*(4-5)", false),
+            Doc("poison", true),
+            Doc("6/3", false),
+        ];
+        // Run everything on one worker so the panicking jobs and their
+        // healthy successors share a pool: the quarantine (not thread
+        // death) is what keeps the later documents parsing.
+        let results = BatchEngine::new(1).parse_corpus(
+            || {
+                let g = modpeg_grammars::calc_grammar().unwrap();
+                CompiledGrammar::compile(&g, OptConfig::all()).unwrap()
+            },
+            &docs,
+        );
+        assert_eq!(results.len(), docs.len());
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.index, i);
+            let poisoned = docs[i].1;
+            assert_eq!(r.panicked, poisoned, "doc {i}");
+            assert_eq!(r.ok, !poisoned, "doc {i}");
+            if poisoned {
+                let err = r.error.as_deref().unwrap();
+                assert!(err.contains("panicked"), "{err}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_engine_applies_limits_per_document() {
+        let docs: Vec<String> = (0..6)
+            .map(|i| modpeg_workload::calc_expression(i as u64, 60 + 200 * i))
+            .collect();
+        // Probe the per-document step counts so the fuel limit can be set
+        // between the cheapest and the most expensive document.
+        let steps: Vec<u64> = docs
+            .iter()
+            .map(|d| {
+                let g = modpeg_grammars::calc_grammar().unwrap();
+                let c = CompiledGrammar::compile(&g, OptConfig::all()).unwrap();
+                let gov = Governor::new();
+                c.parse_governed(d, &gov).0.unwrap();
+                gov.steps()
+            })
+            .collect();
+        let fuel = (steps.iter().copied().min().unwrap() + steps.iter().copied().max().unwrap()) / 2;
+        let limits = GovernorLimits {
+            fuel: Some(fuel),
+            ..GovernorLimits::default()
+        };
+        let results = BatchEngine::new(2).parse_corpus_governed(
+            || {
+                let g = modpeg_grammars::calc_grammar().unwrap();
+                CompiledGrammar::compile(&g, OptConfig::all()).unwrap()
+            },
+            &docs,
+            &limits,
+        );
+        for (i, r) in results.iter().enumerate() {
+            let expect_abort = steps[i] > fuel;
+            assert_eq!(
+                r.aborted,
+                expect_abort.then_some(ParseAbort::FuelExhausted),
+                "doc {i}: {} steps vs fuel {fuel}",
+                steps[i]
+            );
+            assert_eq!(r.ok, !expect_abort, "doc {i}");
+            assert!(!r.panicked);
+        }
+        // The budgets are per document, not shared: every document under
+        // the limit parsed even though the corpus total exceeds it.
+        assert!(results.iter().any(|r| r.ok) && results.iter().any(|r| !r.ok));
     }
 
     #[test]

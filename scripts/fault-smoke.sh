@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Deterministic fault-injection smoke campaign (~5 s budget).
+#
+# Runs `modpeg fault --smoke`: fixed seeds, all four grammars, every
+# engine. Each document is aborted at randomized-but-deterministic fuel
+# points (plus memo-budget squeezes, depth ceilings, and pre-cancelled
+# tokens) and the abort contract is checked: no memo corruption, retries
+# reproduce the ungoverned tree, sessions stay usable, edits after aborts
+# stay sound. Any violation fails the run.
+#
+# Usage: scripts/fault-smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODPEG=target/release/modpeg
+if [ ! -x "$MODPEG" ]; then
+    echo "== fault-smoke: building modpeg =="
+    cargo build --release -p modpeg-cli
+fi
+
+echo "== fault-smoke: modpeg fault --smoke =="
+"$MODPEG" fault --smoke
+
+echo "== fault-smoke: OK =="

@@ -8,13 +8,22 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: cargo build --release =="
-cargo build --release
+# --workspace everywhere: the root manifest is itself a package, so bare
+# `cargo build`/`cargo test` here would cover only the root crate and
+# leave e.g. the release CLI binary stale for the smoke runs below.
+echo "== tier-1: cargo build --release --workspace =="
+cargo build --release --workspace
 
-echo "== tier-1: cargo test -q =="
-cargo test -q
+echo "== tier-1: cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo test -q --workspace =="
+cargo test -q --workspace
 
 echo "== tier-1: conformance fuzz smoke =="
 sh scripts/fuzz-smoke.sh
+
+echo "== tier-1: fault-injection smoke =="
+sh scripts/fault-smoke.sh
 
 echo "== tier-1: OK =="

@@ -72,13 +72,16 @@ fn kind(rng: &mut StdRng) -> ProdKind {
     [ProdKind::Node, ProdKind::Text, ProdKind::Void][rng.gen_range(0..3usize)]
 }
 
+/// One alternative: an optional `<Label>` plus its expression.
+type Alt = (Option<String>, E);
+
 #[derive(Debug, Clone)]
 struct RandGrammar {
-    prods: Vec<(ProdKind, Vec<(Option<String>, E)>)>,
+    prods: Vec<(ProdKind, Vec<Alt>)>,
 }
 
 fn rand_grammar(rng: &mut StdRng) -> RandGrammar {
-    let mut prods: Vec<(ProdKind, Vec<(Option<String>, E)>)> = (0..N_PRODS)
+    let mut prods: Vec<(ProdKind, Vec<Alt>)> = (0..N_PRODS)
         .map(|idx| {
             let k = kind(rng);
             let n_alts = rng.gen_range(1usize..3);
