@@ -4,10 +4,12 @@
 //! modpeg check  <grammar.mpeg>... --root <module> [--start <prod>] [--dump]
 //! modpeg stats  <grammar.mpeg>...
 //! modpeg parse  <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--stats]
-//!               [--deadline-ms <n>] [--fuel <n>] [--max-depth <n>] [--memo-budget <bytes>]
+//!               [--telemetry] [--deadline-ms <n>] [--fuel <n>] [--max-depth <n>] [--memo-budget <bytes>]
+//! modpeg profile <grammar.mpeg>... --root <module> [--start <prod>] --input <file>
+//!               [--format chrome|folded|prom|heatmap|heatmap-csv|json|summary] [--sample <n>] [--out <file>]
 //! modpeg gen    <grammar.mpeg>... --root <module> [--start <prod>] [--out <file.rs>]
-//! modpeg session-bench <grammar.mpeg>... --root <module> --input <file> [--edits <n>]
-//! modpeg fuzz  [--grammar calc|json|java|c|all] [--seeds <n>] [--engines <list>] [--smoke]
+//! modpeg session-bench <grammar.mpeg>... --root <module> --input <file> [--edits <n>] [--telemetry]
+//! modpeg fuzz  [--grammar calc|json|java|c|all] [--seeds <n>] [--engines <list>] [--smoke] [--telemetry]
 //! modpeg fault [--grammar calc|json|java|c|all] [--seeds <n>] [--smoke]
 //! ```
 //!
@@ -37,6 +39,7 @@ use modpeg_core::Grammar;
 use modpeg_interp::{CompiledGrammar, OptConfig};
 use modpeg_runtime::{GovernorLimits, ParseFault};
 use modpeg_session::ParseSession;
+use modpeg_telemetry::{export, mask, MetricsRegistry, Telemetry};
 
 /// A CLI failure, carrying which exit code it maps to.
 #[derive(Debug)]
@@ -96,6 +99,9 @@ struct Args {
     dump: bool,
     stats: bool,
     trace: bool,
+    telemetry: bool,
+    format: Option<String>,
+    sample: Option<u32>,
 }
 
 fn usage() -> &'static str {
@@ -104,12 +110,14 @@ fn usage() -> &'static str {
      modpeg lint  <grammar.mpeg>... --root <module> [--start <prod>]\n  \
      modpeg fmt   <grammar.mpeg>...\n  \
      modpeg stats <grammar.mpeg>...\n  \
-     modpeg parse <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--stats] [--trace]\n               \
+     modpeg parse <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--stats] [--trace] [--telemetry]\n               \
      [--deadline-ms <n>] [--fuel <n>] [--max-depth <n>] [--memo-budget <bytes>]\n  \
+     modpeg profile <grammar.mpeg>... --root <module> [--start <prod>] --input <file>\n               \
+     [--format chrome|folded|prom|heatmap|heatmap-csv|json|summary] [--sample <n>] [--out <file>]\n  \
      modpeg coverage <grammar.mpeg>... --root <module> [--start <prod>] --input <file>\n  \
      modpeg gen   <grammar.mpeg>... --root <module> [--start <prod>] [--out <file.rs>]\n  \
-     modpeg session-bench <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--edits <n>]\n  \
-     modpeg fuzz  [--grammar calc|json|java|c|all] [--seeds <n>] [--engines opt-levels,baseline,codegen,incremental] [--smoke]\n  \
+     modpeg session-bench <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--edits <n>] [--telemetry]\n  \
+     modpeg fuzz  [--grammar calc|json|java|c|all] [--seeds <n>] [--engines opt-levels,baseline,codegen,incremental] [--smoke] [--telemetry]\n  \
      modpeg fault [--grammar calc|json|java|c|all] [--seeds <n>] [--smoke]\n\
      exit codes: 0 ok, 1 check failed, 2 usage, 3 I/O, 4 resource abort, 5 internal"
 }
@@ -136,6 +144,9 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         dump: false,
         stats: false,
         trace: false,
+        telemetry: false,
+        format: None,
+        sample: None,
     };
     fn num<T: std::str::FromStr>(flag: &str, v: Option<String>) -> Result<T, String>
     where
@@ -163,6 +174,9 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
             "--dump" => args.dump = true,
             "--stats" => args.stats = true,
             "--trace" => args.trace = true,
+            "--telemetry" => args.telemetry = true,
+            "--format" => args.format = Some(it.next().ok_or("--format needs a value")?),
+            "--sample" => args.sample = Some(num("--sample", it.next())?),
             f if !f.starts_with('-') => args.files.push(f.to_owned()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
@@ -299,36 +313,105 @@ fn cmd_parse(args: &Args) -> Result<(), CliError> {
             Err(e) => Err(CliError::Failure(e.to_string())),
         };
     }
+    let telem = if args.telemetry {
+        Telemetry::collector(TELEMETRY_CAP).with_mask(mask::ALL)
+    } else {
+        Telemetry::disabled()
+    };
     let limits = governor_limits(args);
-    if !limits.is_unlimited() {
+    let outcome = if !limits.is_unlimited() {
         let gov = limits.governor();
-        let (result, stats) = compiled.parse_governed(&input, &gov);
-        return match result {
-            Ok(tree) => {
-                println!("{}", tree.to_sexpr());
-                if args.stats {
-                    eprintln!("{stats}");
-                }
-                Ok(())
-            }
+        let (result, stats) = compiled.parse_governed_telemetry(&input, &gov, &telem);
+        match result {
+            Ok(tree) => Ok((tree, stats)),
             Err(ParseFault::Syntax(e)) => Err(CliError::Failure(e.to_string())),
             Err(ParseFault::Abort(kind)) => Err(CliError::Abort(format!(
                 "parse aborted after {} step(s): {kind}",
                 gov.steps()
             ))),
-        };
-    }
-    let (result, stats) = compiled.parse_with_stats(&input);
-    match result {
-        Ok(tree) => {
-            println!("{}", tree.to_sexpr());
-            if args.stats {
-                eprintln!("{stats}");
-            }
-            Ok(())
         }
-        Err(e) => Err(CliError::Failure(e.to_string())),
+    } else {
+        let (result, stats) = compiled.parse_with_telemetry(&input, &telem);
+        match result {
+            Ok(tree) => Ok((tree, stats)),
+            Err(e) => Err(CliError::Failure(e.to_string())),
+        }
+    };
+    if args.telemetry {
+        eprintln!("{}", MetricsRegistry::from_report(&telem.take_report()));
     }
+    let (tree, stats) = outcome?;
+    println!("{}", tree.to_sexpr());
+    if args.stats {
+        eprintln!("{stats}");
+    }
+    Ok(())
+}
+
+/// Event capacity of the `--telemetry` / `profile` collectors; at ~32
+/// bytes an event this bounds collection near 32 MiB. Overflow is
+/// reported, not silent ("N events dropped" in every exposition).
+const TELEMETRY_CAP: usize = 1 << 20;
+
+/// Renders a telemetry report in the requested `--format`.
+fn render_profile(args: &Args, report: &modpeg_telemetry::TelemetryReport) -> Result<String, CliError> {
+    Ok(match args.format.as_deref().unwrap_or("summary") {
+        "summary" => MetricsRegistry::from_report(report).to_string(),
+        "chrome" => export::chrome_trace(report),
+        "folded" => export::folded_stacks(report),
+        "prom" => MetricsRegistry::from_report(report).to_prometheus(),
+        "json" => MetricsRegistry::from_report(report).to_json(),
+        "heatmap" => export::MemoHeatmap::from_report(report, 64).to_text(),
+        "heatmap-csv" => export::MemoHeatmap::from_report(report, 64).to_csv(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown profile format `{other}` (expected chrome, folded, prom, heatmap, heatmap-csv, json, or summary)"
+            )))
+        }
+    })
+}
+
+fn cmd_profile(args: &Args) -> Result<(), CliError> {
+    let grammar = load_grammar(args)?;
+    let input_path = args
+        .input
+        .as_ref()
+        .ok_or_else(|| CliError::Usage("--input <file> is required".into()))?;
+    let input = std::fs::read_to_string(input_path)
+        .map_err(|e| CliError::Io(format!("{input_path}: {e}")))?;
+    let compiled = compile(&grammar, OptConfig::all())?;
+    let mut telem = Telemetry::collector(TELEMETRY_CAP).with_mask(mask::ALL);
+    if let Some(n) = args.sample {
+        if n == 0 {
+            return Err(CliError::Usage("--sample must be at least 1".into()));
+        }
+        telem = telem.with_sampling(n);
+    }
+    let limits = governor_limits(args);
+    if !limits.is_unlimited() {
+        let gov = limits.governor();
+        let (result, _) = compiled.parse_governed_telemetry(&input, &gov, &telem);
+        match result {
+            Err(ParseFault::Abort(kind)) => {
+                // The profile of an aborted run is exactly what the flags
+                // asked to see; note the abort and keep going.
+                eprintln!("note: parse aborted after {} step(s): {kind}", gov.steps());
+            }
+            Err(ParseFault::Syntax(e)) => eprintln!("note: input did not fully parse: {e}"),
+            Ok(_) => {}
+        }
+    } else if let (Err(e), _) = compiled.parse_with_telemetry(&input, &telem) {
+        eprintln!("note: input did not fully parse: {e}");
+    }
+    let rendered = render_profile(args, &telem.take_report())?;
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            println!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
 }
 
 fn cmd_coverage(args: &Args) -> Result<(), CliError> {
@@ -414,6 +497,12 @@ fn cmd_session_bench(args: &Args) -> Result<(), CliError> {
 
     // Incremental: one priming parse, then reparse after each edit.
     let mut session = ParseSession::new(compiled.clone(), input.clone());
+    let telem = if args.telemetry {
+        Telemetry::collector(TELEMETRY_CAP).with_mask(mask::ALL)
+    } else {
+        Telemetry::disabled()
+    };
+    session.attach_telemetry(&telem);
     let t0 = Instant::now();
     let tree = session
         .parse()
@@ -459,6 +548,9 @@ fn cmd_session_bench(args: &Args) -> Result<(), CliError> {
     println!("speedup: {speedup:.1}x (trees verified identical)");
     if args.stats {
         println!("{}", session.stats());
+    }
+    if args.telemetry {
+        eprintln!("{}", MetricsRegistry::from_report(&telem.take_report()));
     }
     Ok(())
 }
@@ -509,6 +601,10 @@ fn cmd_fuzz(args: &Args) -> Result<(), CliError> {
             t.elapsed().as_secs_f64(),
             report.engines.join(","),
         );
+        if args.telemetry {
+            eprintln!("aggregate reference-engine stats for {}:", report.grammar);
+            eprintln!("{}", report.stats);
+        }
         for d in &report.divergences {
             total_divergences += 1;
             eprintln!("\ndivergence on {} input {:?}", d.grammar, d.input);
@@ -598,6 +694,7 @@ fn main() -> ExitCode {
         "fmt" => cmd_fmt(&args),
         "stats" => cmd_stats(&args),
         "parse" => cmd_parse(&args),
+        "profile" => cmd_profile(&args),
         "coverage" => cmd_coverage(&args),
         "gen" => cmd_gen(&args),
         "session-bench" => cmd_session_bench(&args),
@@ -695,6 +792,36 @@ mod tests {
         // grammar files.
         assert!(parse_args(argv("fault --smoke")).is_ok());
         assert!(parse_args(argv("check --dump")).is_err());
+    }
+
+    #[test]
+    fn parses_profile_flags() {
+        let a = parse_args(argv(
+            "profile g.mpeg --input x.java --format chrome --sample 16 --out trace.json",
+        ))
+        .unwrap();
+        assert_eq!(a.command, "profile");
+        assert_eq!(a.format.as_deref(), Some("chrome"));
+        assert_eq!(a.sample, Some(16));
+        assert_eq!(a.out.as_deref(), Some("trace.json"));
+        assert!(parse_args(argv("profile g.mpeg --sample lots")).is_err());
+        let b = parse_args(argv("parse g.mpeg --input x --telemetry")).unwrap();
+        assert!(b.telemetry);
+    }
+
+    #[test]
+    fn rejects_unknown_profile_format() {
+        let a = parse_args(argv("profile g.mpeg --input x --format svg")).unwrap();
+        let report = modpeg_telemetry::TelemetryReport::default();
+        let err = render_profile(&a, &report).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.message().contains("svg"), "{}", err.message());
+        // Every documented format renders something for an empty report.
+        for fmt in ["chrome", "folded", "prom", "heatmap", "heatmap-csv", "json", "summary"] {
+            let mut a = parse_args(argv("profile g.mpeg --input x")).unwrap();
+            a.format = Some(fmt.to_owned());
+            assert!(render_profile(&a, &report).is_ok(), "{fmt}");
+        }
     }
 
     #[test]

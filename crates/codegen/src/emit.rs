@@ -437,7 +437,7 @@ impl<'g> Emitter<'g> {
             "_o"
         };
         let attempt = format!(
-            "        {{ let m = self.state.mark();\n          match {snip} {{\n            Ok((e2, {o_pat})) => {success}\n            Err(_) => {{ self.state.rollback(m); self.stats.backtracks += 1; }}\n          }} }}"
+            "        {{ let m = self.state.mark();\n          match {snip} {{\n            Ok((e2, {o_pat})) => {success}\n            Err(_) => {{ self.state.rollback(m); self.stats.backtracks += 1; self.telem.backtrack({p_idx}, {pos_var}, self.prod_depth); }}\n          }} }}"
         );
         match alt.first.as_ref().and_then(|(set, desc)| {
             first_guard(set).map(|g| (g, desc.clone()))
@@ -459,6 +459,12 @@ impl<'g> Emitter<'g> {
             self.out,
             "    fn p{p_idx}(&mut self, pos: u32) -> Result<(u32, Value), Fail> {{"
         );
+        // The span bracket around the production body: enter/exit are
+        // single-branch no-ops when telemetry is disabled, so this is the
+        // whole per-production telemetry cost on the fast path.
+        let span_open = format!(
+            "        let span = self.telem.enter({p_idx}, pos, self.prod_depth);\n        self.prod_depth += 1;\n        let r = self.p{p_idx}_impl(pos);\n        self.prod_depth -= 1;\n        let (s_end, s_matched) = match &r {{ Ok((end, _)) => (*end, true), Err(_) => (pos, false) }};\n        self.telem.exit(span, {p_idx}, pos, self.prod_depth, s_end, s_matched);"
+        );
         if let Some(slot) = p.memo_slot {
             let (valid, epoch_expr) = if p.epoch_check {
                 ("ans.epoch == self.state.epoch()", "self.state.epoch()")
@@ -470,16 +476,18 @@ impl<'g> Emitter<'g> {
             // being deterministic across cache states.
             let _ = writeln!(
                 self.out,
-                "        self.guard()?;\n        self.stats.memo_probes += 1;\n        if let Some(ans) = self.memo.probe({slot}, pos) {{\n            if {valid} {{\n                self.stats.memo_hits += 1;\n                return match &ans.outcome {{\n                    None => Err(Fail),\n                    Some((end, value)) => Ok((*end, value.clone())),\n                }};\n            }}\n        }}\n        self.stats.productions_evaluated += 1;\n        let r = self.p{p_idx}_impl(pos);\n        if self.aborted.is_none() && !self.memo_frozen {{\n            self.stats.memo_stores += 1;\n            let epoch = {epoch_expr};\n            let ans = match &r {{\n                Ok((end, v)) => MemoAnswer::success(epoch, *end, v.clone()),\n                Err(_) => MemoAnswer::fail(epoch),\n            }};\n            self.memo.store({slot}, pos, ans);\n            if self.memo_budget != u64::MAX && self.memo.retained_bytes() > self.memo_budget {{\n                self.enforce_memo_budget(pos);\n            }}\n        }}\n        r\n    }}\n"
-            );
-            let _ = writeln!(
-                self.out,
-                "    fn p{p_idx}_impl(&mut self, pos: u32) -> Result<(u32, Value), Fail> {{"
+                "        self.guard()?;\n        self.stats.memo_probes += 1;\n        self.telem.memo_probe({p_idx}, pos);\n        if let Some(ans) = self.memo.probe({slot}, pos) {{\n            if {valid} {{\n                self.stats.memo_hits += 1;\n                self.telem.memo_hit({p_idx}, pos, self.prod_depth, ans.outcome.is_some());\n                return match &ans.outcome {{\n                    None => Err(Fail),\n                    Some((end, value)) => Ok((*end, value.clone())),\n                }};\n            }}\n        }}\n        self.stats.productions_evaluated += 1;\n{span_open}\n        if self.aborted.is_none() && !self.memo_frozen {{\n            self.stats.memo_stores += 1;\n            self.telem.memo_store({p_idx}, pos, r.is_ok());\n            let epoch = {epoch_expr};\n            let ans = match &r {{\n                Ok((end, v)) => MemoAnswer::success(epoch, *end, v.clone()),\n                Err(_) => MemoAnswer::fail(epoch),\n            }};\n            self.memo.store({slot}, pos, ans);\n            if self.memo_budget != u64::MAX && self.memo.retained_bytes() > self.memo_budget {{\n                self.enforce_memo_budget(pos);\n            }}\n        }}\n        r\n    }}\n"
             );
         } else {
-            let _ = writeln!(self.out, "        self.guard()?;");
-            let _ = writeln!(self.out, "        self.stats.productions_evaluated += 1;");
+            let _ = writeln!(
+                self.out,
+                "        self.guard()?;\n        self.stats.productions_evaluated += 1;\n{span_open}\n        r\n    }}\n"
+            );
         }
+        let _ = writeln!(
+            self.out,
+            "    fn p{p_idx}_impl(&mut self, pos: u32) -> Result<(u32, Value), Fail> {{"
+        );
         match &p.lr {
             Some(lr) => {
                 // Base: first matching base alternative becomes the seed.
@@ -562,6 +570,13 @@ impl<'g> Emitter<'g> {
             .map(|k| rust_str(k))
             .collect::<Vec<_>>()
             .join(", ");
+        let prod_names = self
+            .g
+            .ir_prods()
+            .iter()
+            .map(|p| rust_str(&p.name))
+            .collect::<Vec<_>>()
+            .join(", ");
 
         let n_slots = self.g.memo_slot_count();
         format!(
@@ -576,11 +591,14 @@ use modpeg_runtime::{{
     ChunkMemo, Fail, Failures, Governor, Input, MemoAnswer, MemoTable, NodeKind, Out, ParseAbort,
     ParseError, ParseFault, ScopedState, Span, Stats, SyntaxTree, Value, DEFAULT_MAX_DEPTH,
 }};
+use modpeg_telemetry::Telemetry;
 
 /// Node-kind table.
 const K: &[&str] = &[{kinds}];
 /// Expected-input descriptions for diagnostics.
 const D: &[&str] = &[{descs}];
+/// Production names (telemetry reports index into this table).
+const PN: &[&str] = &[{prod_names}];
 /// Memoization slots.
 const N_SLOTS: u32 = {n_slots};
 
@@ -599,6 +617,8 @@ pub struct Parser<'i> {{
     max_depth: u32,
     memo_budget: u64,
     memo_frozen: bool,
+    telem: Telemetry,
+    prod_depth: u32,
 }}
 
 impl<'i> Parser<'i> {{
@@ -620,6 +640,8 @@ impl<'i> Parser<'i> {{
             max_depth: u32::MAX,
             memo_budget: u64::MAX,
             memo_frozen: false,
+            telem: Telemetry::disabled(),
+            prod_depth: 0,
         }}
     }}
 
@@ -627,6 +649,14 @@ impl<'i> Parser<'i> {{
         self.max_depth = gov.max_depth().unwrap_or(DEFAULT_MAX_DEPTH);
         self.memo_budget = gov.memo_budget().unwrap_or(u64::MAX);
         self.gov = Some(gov);
+    }}
+
+    fn install_telemetry(&mut self, telem: &Telemetry) {{
+        if telem.is_enabled() {{
+            telem.set_names(PN.iter().map(|s| (*s).to_owned()).collect());
+            telem.set_input_len(self.input.len());
+            self.telem = telem.clone();
+        }}
     }}
 
     #[inline]
@@ -650,6 +680,7 @@ impl<'i> Parser<'i> {{
         }}
         if self.aborted.is_none() {{
             self.aborted = Some(kind);
+            self.telem.gov_abort(kind.name());
         }}
         Fail
     }}
@@ -665,6 +696,7 @@ impl<'i> Parser<'i> {{
         self.stats.gov_evictions += 1;
         let freed = self.memo.evict_cold(hot_from).columns_freed;
         self.stats.gov_columns_evicted += freed;
+        self.telem.memo_evict(hot_from, freed.min(u64::from(u32::MAX)) as u32);
         if self.memo.retained_bytes() <= self.memo_budget {{
             return;
         }}
@@ -780,6 +812,16 @@ pub fn parse(text: &str) -> Result<SyntaxTree, ParseError> {{
 
 /// Like [`parse`], also returning runtime statistics.
 pub fn parse_with_stats(text: &str) -> (Result<SyntaxTree, ParseError>, Stats) {{
+    parse_with_telemetry(text, &Telemetry::disabled())
+}}
+
+/// Like [`parse_with_stats`], with telemetry hooks reporting to `telem`
+/// (production spans, memo traffic, backtracks). A disabled handle
+/// reduces every hook to a single branch.
+pub fn parse_with_telemetry(
+    text: &str,
+    telem: &Telemetry,
+) -> (Result<SyntaxTree, ParseError>, Stats) {{
     if text.len() > u32::MAX as usize {{
         // Spans and memo positions are 32-bit; refuse cleanly.
         let input = Input::new("");
@@ -788,6 +830,7 @@ pub fn parse_with_stats(text: &str) -> (Result<SyntaxTree, ParseError>, Stats) {
         return (Err(failures.to_error(&input)), Stats::default());
     }}
     let mut parser = Parser::new(text);
+    parser.install_telemetry(telem);
     let r = parser.p{root}(0);
     let outcome = match r {{
         Ok((end, value)) if end == parser.input.len() => Ok(SyntaxTree::new(text, value)),
@@ -812,6 +855,16 @@ pub fn parse_with_stats(text: &str) -> (Result<SyntaxTree, ParseError>, Stats) {
 /// sub-expression (e.g. under a `!p` predicate) is still reported as
 /// aborted.
 pub fn parse_governed(text: &str, gov: &Governor) -> (Result<SyntaxTree, ParseFault>, Stats) {{
+    parse_governed_telemetry(text, gov, &Telemetry::disabled())
+}}
+
+/// Like [`parse_governed`], with telemetry hooks reporting to `telem`
+/// (including governor tick totals and abort events).
+pub fn parse_governed_telemetry(
+    text: &str,
+    gov: &Governor,
+    telem: &Telemetry,
+) -> (Result<SyntaxTree, ParseFault>, Stats) {{
     if text.len() > u32::MAX as usize {{
         // Spans and memo positions are 32-bit; refuse cleanly.
         let input = Input::new("");
@@ -828,6 +881,7 @@ pub fn parse_governed(text: &str, gov: &Governor) -> (Result<SyntaxTree, ParseFa
     }}
     let mut parser = Parser::new(text);
     parser.install_governor(gov);
+    parser.install_telemetry(telem);
     let r = parser.p{root}(0);
     let outcome = if let Some(kind) = parser.aborted {{
         Err(ParseFault::Abort(kind))
@@ -842,6 +896,9 @@ pub fn parse_governed(text: &str, gov: &Governor) -> (Result<SyntaxTree, ParseFa
         }}
     }};
     parser.stats.memo_bytes = parser.memo.retained_bytes();
+    parser.stats.gov_ticks = gov.steps();
+    parser.stats.gov_stride_refills = gov.stride_refills();
+    parser.telem.gov_ticks(gov.steps(), gov.stride_refills());
     (outcome, parser.stats)
 }}
 "#,

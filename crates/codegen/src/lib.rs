@@ -3,12 +3,15 @@
 //! The parser *generator* half of the toolkit: emits a self-contained Rust
 //! module implementing a packrat parser for an elaborated grammar, exactly
 //! as Rats! emits Java classes. The generated module depends only on
-//! `modpeg-runtime` and exposes:
+//! `modpeg-runtime` and `modpeg-telemetry` and exposes:
 //!
 //! ```text
 //! pub struct Parser<'i>;
 //! pub fn parse(text: &str) -> Result<SyntaxTree, ParseError>;
 //! pub fn parse_with_stats(text: &str) -> (Result<SyntaxTree, ParseError>, Stats);
+//! pub fn parse_with_telemetry(text: &str, telem: &Telemetry) -> (Result<SyntaxTree, ParseError>, Stats);
+//! pub fn parse_governed(text: &str, gov: &Governor) -> (Result<SyntaxTree, ParseFault>, Stats);
+//! pub fn parse_governed_telemetry(text: &str, gov: &Governor, telem: &Telemetry) -> (Result<SyntaxTree, ParseFault>, Stats);
 //! ```
 //!
 //! Generated parsers always use the fully optimized strategy set (grammar

@@ -36,6 +36,7 @@ pub use shrink::ddmin;
 use modpeg_core::Grammar;
 use modpeg_interp::{CompiledGrammar, OptConfig};
 use modpeg_runtime::{Governor, ParseError, ParseFault, Stats, SyntaxTree};
+use modpeg_telemetry::{mask, MetricsRegistry, Telemetry};
 use modpeg_workload::rng::StdRng;
 
 /// The named grammars the harness can fuzz (those with build-time
@@ -99,6 +100,23 @@ impl GrammarId {
             GrammarId::Json => g::json::parse(input),
             GrammarId::Java => g::java::parse(input),
             GrammarId::C => g::c::parse(input),
+        }
+    }
+
+    /// Runs the build-time generated parser with telemetry hooks
+    /// reporting to `telem` — the entry point the memo-telemetry
+    /// agreement check compares against the interpreter.
+    pub fn codegen_parse_with_telemetry(
+        self,
+        input: &str,
+        telem: &Telemetry,
+    ) -> (Result<SyntaxTree, ParseError>, Stats) {
+        use modpeg_grammars::generated as g;
+        match self {
+            GrammarId::Calc => g::calc::parse_with_telemetry(input, telem),
+            GrammarId::Json => g::json::parse_with_telemetry(input, telem),
+            GrammarId::Java => g::java::parse_with_telemetry(input, telem),
+            GrammarId::C => g::c::parse_with_telemetry(input, telem),
         }
     }
 
@@ -218,6 +236,9 @@ pub struct FuzzReport {
     pub edit_scripts_replayed: u64,
     /// Divergences found (already minimized).
     pub divergences: Vec<Divergence>,
+    /// Reference-engine statistics aggregated (via [`Stats::merge`])
+    /// across every scratch input of the campaign.
+    pub stats: Stats,
 }
 
 impl FuzzReport {
@@ -252,6 +273,7 @@ pub fn fuzz_grammar(id: GrammarId, cfg: &FuzzConfig) -> Result<FuzzReport, Strin
         coverage_ratio: 0.0,
         edit_scripts_replayed: 0,
         divergences: Vec::new(),
+        stats: Stats::default(),
     };
     let mut coverage: Option<modpeg_interp::Coverage> = None;
 
@@ -345,7 +367,9 @@ fn check_one(
             report.inputs_tested += 1;
             let d = oracle.check(input);
             if d.is_none() {
-                if oracle.reference().parse(input).is_ok() {
+                let (result, stats) = oracle.reference().parse_with_stats(input);
+                report.stats.merge(&stats);
+                if result.is_ok() {
                     report.accepted += 1;
                 } else {
                     report.rejected += 1;
@@ -422,6 +446,51 @@ pub fn assert_edit_script_agrees(grammar: &str, input: &str, seed: u64) {
     if let Some(detail) = oracle.check_edits(input, seed) {
         panic!("incremental engines diverge on {input:?} (seed {seed}): {detail}");
     }
+}
+
+/// Asserts that the interpreter (fully optimized configuration) and the
+/// build-time generated parser report identical per-production memo
+/// telemetry (probes and hits, hence hit-rates) for `input`.
+///
+/// Both engines execute the same compiled IR strategy, so any drift here
+/// means one of them gained or lost a memo touch the other didn't — a
+/// telemetry bug even when the parse trees still agree.
+///
+/// # Panics
+///
+/// Panics with the first differing production when the reports disagree,
+/// or when either collector dropped events (raise the cap instead of
+/// comparing approximations).
+pub fn assert_memo_telemetry_agrees(grammar: &str, input: &str) {
+    let id = GrammarId::from_name(grammar)
+        .unwrap_or_else(|| panic!("unknown grammar {grammar:?}"));
+    let g = id.elaborate().expect("grammar elaborates");
+    let compiled = CompiledGrammar::compile(&g, OptConfig::all()).expect("grammar compiles");
+    const CAP: usize = 1 << 22;
+    let memo_mask = mask::MEMO_HITS | mask::MEMO_TRAFFIC;
+
+    let interp = Telemetry::collector(CAP).with_mask(memo_mask);
+    let _ = compiled.parse_with_telemetry(input, &interp);
+    let generated = Telemetry::collector(CAP).with_mask(memo_mask);
+    let _ = id.codegen_parse_with_telemetry(input, &generated);
+
+    let a = MetricsRegistry::from_report(&interp.take_report());
+    let b = MetricsRegistry::from_report(&generated.take_report());
+    assert_eq!(a.totals.dropped, 0, "interp collector overflowed");
+    assert_eq!(b.totals.dropped, 0, "codegen collector overflowed");
+
+    let rates = |r: &MetricsRegistry| -> Vec<(String, u64, u64)> {
+        r.prods
+            .iter()
+            .filter(|p| p.memo_probes > 0)
+            .map(|p| (p.name.clone(), p.memo_probes, p.memo_hits))
+            .collect()
+    };
+    let (ra, rb) = (rates(&a), rates(&b));
+    assert_eq!(
+        ra, rb,
+        "per-production memo telemetry diverged between interp and codegen on {input:?}"
+    );
 }
 
 /// Renders a ready-to-paste regression test for a minimized divergence.
@@ -521,5 +590,36 @@ mod tests {
     fn assert_helpers_accept_agreeing_inputs() {
         assert_engines_agree("calc", "1 + 2 * 3");
         assert_edit_script_agrees("json", "{\"k\": [1, 2]}", 3);
+    }
+
+    #[test]
+    fn memo_telemetry_agrees_across_engines() {
+        // Accepted and rejected inputs both: hit-rates must line up on
+        // failure paths too (backtracking is where memo traffic differs
+        // first when an engine drifts).
+        for (grammar, ok_seed, bad) in [
+            ("calc", 7u64, "1+*2"),
+            ("json", 11, "{\"k\": [1,}"),
+            ("java", 3, "class { int"),
+        ] {
+            let id = GrammarId::from_name(grammar).unwrap();
+            let doc = id.workload(ok_seed, 300);
+            assert_memo_telemetry_agrees(grammar, &doc);
+            assert_memo_telemetry_agrees(grammar, bad);
+        }
+    }
+
+    #[test]
+    fn fuzz_report_aggregates_reference_stats() {
+        let report = fuzz_grammar(
+            GrammarId::Calc,
+            &FuzzConfig {
+                seeds: 10,
+                ..FuzzConfig::smoke()
+            },
+        )
+        .unwrap();
+        assert!(report.stats.productions_evaluated > 0);
+        assert!(report.stats.memo_probes >= report.stats.memo_hits);
     }
 }

@@ -10,6 +10,7 @@ use modpeg_runtime::{
     ParseAbort, ParseError, ParseFault, ScopedState, Span, Stats, SyntaxTree, Value,
     DEFAULT_MAX_DEPTH,
 };
+use modpeg_telemetry::{Telemetry, REP_HELPER};
 
 use crate::compile::{CAlt, CExpr, CompiledGrammar, EId};
 
@@ -74,8 +75,13 @@ struct Run<'g, 'i> {
     suppress: u32,
     /// Alternative-coverage recording, when requested.
     coverage: Option<crate::Coverage>,
-    /// Chronological tracing, when requested.
-    trace: Option<crate::Trace>,
+    /// Telemetry hooks. Disabled by default; every hook is then a single
+    /// branch on the handle's cached flag, which the E11 bench holds
+    /// under 1% of parse time.
+    telem: Telemetry,
+    /// Production-nesting depth (for telemetry spans; distinct from
+    /// `depth`, which counts expression frames for the stack ceiling).
+    prod_depth: u32,
     /// Resource governor for this run, when the parse is governed.
     gov: Option<&'g Governor>,
     /// First abort observed. Once set, every memo store is suppressed and
@@ -117,7 +123,8 @@ impl<'g, 'i> Run<'g, 'i> {
             examined: 0,
             suppress: 0,
             coverage: None,
-            trace: None,
+            telem: Telemetry::disabled(),
+            prod_depth: 0,
             gov: None,
             aborted: None,
             depth: 0,
@@ -134,6 +141,25 @@ impl<'g, 'i> Run<'g, 'i> {
         self.max_depth = gov.max_depth().unwrap_or(DEFAULT_MAX_DEPTH);
         self.memo_budget = gov.memo_budget().unwrap_or(u64::MAX);
         self.gov = Some(gov);
+    }
+
+    /// Attaches a telemetry handle; production names and the input length
+    /// are installed on the collector so its reports are self-describing.
+    /// A disabled handle is a no-op (the run keeps its inert default).
+    fn install_telemetry(&mut self, telem: &Telemetry) {
+        if telem.is_enabled() {
+            telem.set_names(self.g.prods.iter().map(|p| p.name.clone()).collect());
+            telem.set_input_len(self.input.len());
+            self.telem = telem.clone();
+        }
+    }
+
+    /// End-of-run governor accounting: copies tick/refill totals into the
+    /// run's stats and records them as a telemetry event.
+    fn finish_governed(&mut self, gov: &Governor) {
+        self.stats.gov_ticks = gov.steps();
+        self.stats.gov_stride_refills = gov.stride_refills();
+        self.telem.gov_ticks(gov.steps(), gov.stride_refills());
     }
 
     fn note(&mut self, pos: u32, desc: &str) {
@@ -170,6 +196,7 @@ impl<'g, 'i> Run<'g, 'i> {
         }
         if self.aborted.is_none() {
             self.aborted = Some(kind);
+            self.telem.gov_abort(kind.name());
         }
         Fail
     }
@@ -179,10 +206,11 @@ impl<'g, 'i> Run<'g, 'i> {
     /// enforces the memo budget (`retained_bytes` is O(1) counter
     /// arithmetic for both table flavours, so budgeted runs can afford the
     /// check on every store).
-    fn store_answer(&mut self, slot: u32, pos: u32, ans: MemoAnswer) {
+    fn store_answer(&mut self, prod: u32, slot: u32, pos: u32, ans: MemoAnswer) {
         if self.aborted.is_some() || self.memo_frozen {
             return;
         }
+        self.telem.memo_store(prod, pos, ans.outcome.is_some());
         self.memo.store(slot, pos, ans);
         self.stats.memo_stores += 1;
         if self.memo_budget != u64::MAX && self.memo.retained_bytes() > self.memo_budget {
@@ -207,6 +235,7 @@ impl<'g, 'i> Run<'g, 'i> {
             Memo::Chunk(m) => m.evict_cold(hot_from).columns_freed,
         };
         self.stats.gov_columns_evicted += freed;
+        self.telem.memo_evict(hot_from, freed.min(u64::from(u32::MAX)) as u32);
         if self.memo.retained_bytes() <= self.memo_budget {
             return;
         }
@@ -323,6 +352,7 @@ impl<'g, 'i> Run<'g, 'i> {
         let p = &g.prods[id.index()];
         if let Some(slot) = p.memo_slot {
             self.stats.memo_probes += 1;
+            self.telem.memo_probe(id.0, pos);
             if let Some(ans) = self.memo.probe(slot, pos) {
                 if p.epoch_check && ans.epoch != self.state.epoch() {
                     self.stats.memo_stale += 1;
@@ -337,24 +367,14 @@ impl<'g, 'i> Run<'g, 'i> {
                     // memoized evaluation's extent.
                     let ext = self.memo.extent_at(pos);
                     self.examined = self.examined.max(pos.saturating_add(ext));
-                    if let Some(t) = &mut self.trace {
-                        t.push(
-                            id.0,
-                            pos,
-                            crate::TraceOutcome::MemoHit {
-                                matched: hit.is_ok(),
-                            },
-                        );
-                    }
+                    self.telem.memo_hit(id.0, pos, self.prod_depth, hit.is_ok());
                     return hit;
                 }
             }
         }
         self.stats.productions_evaluated += 1;
-        if let Some(t) = &mut self.trace {
-            t.push(id.0, pos, crate::TraceOutcome::Enter);
-            t.depth += 1;
-        }
+        let span = self.telem.enter(id.0, pos, self.prod_depth);
+        self.prod_depth += 1;
         // Bracket memoized evaluations: reset the examined watermark to the
         // start position, so that afterwards `examined - pos` is exactly
         // this evaluation's lookahead extent, then fold it back into the
@@ -372,14 +392,13 @@ impl<'g, 'i> Run<'g, 'i> {
         } else {
             self.eval_alts(id, false, pos)
         };
-        if let Some(t) = &mut self.trace {
-            t.depth = t.depth.saturating_sub(1);
-            let outcome = match &result {
-                Ok((end, _)) => crate::TraceOutcome::Matched { end: *end },
-                Err(_) => crate::TraceOutcome::Failed,
-            };
-            t.push(id.0, pos, outcome);
-        }
+        self.prod_depth -= 1;
+        let (span_end, span_matched) = match &result {
+            Ok((end, _)) => (*end, true),
+            Err(_) => (pos, false),
+        };
+        self.telem
+            .exit(span, id.0, pos, self.prod_depth, span_end, span_matched);
         if let Some(slot) = p.memo_slot {
             // The seed-growing strategy stores its own final answer.
             if p.lr.is_none() || g.cfg.left_recursion_iter {
@@ -388,7 +407,7 @@ impl<'g, 'i> Run<'g, 'i> {
                     Ok((end, v)) => MemoAnswer::success(epoch, *end, v.clone()),
                     Err(_) => MemoAnswer::fail(epoch),
                 };
-                self.store_answer(slot, pos, ans);
+                self.store_answer(id.0, slot, pos, ans);
             }
             let high = self.examined;
             self.memo.record_extent(pos, high.saturating_sub(pos));
@@ -443,6 +462,7 @@ impl<'g, 'i> Run<'g, 'i> {
                 Err(_) => {
                     self.state.rollback(mark);
                     self.stats.backtracks += 1;
+                    self.telem.backtrack(id.0, pos, self.prod_depth);
                 }
             }
         }
@@ -548,6 +568,7 @@ impl<'g, 'i> Run<'g, 'i> {
         // results may be tainted.
         let epoch = if p.epoch_check { self.state.epoch() } else { 0 };
         if self.aborted.is_none() {
+            self.telem.memo_store(id.0, pos, false);
             self.memo.store(slot, pos, MemoAnswer::fail(epoch));
             self.stats.memo_stores += 1;
         }
@@ -562,6 +583,7 @@ impl<'g, 'i> Run<'g, 'i> {
                     if self.aborted.is_some() {
                         break;
                     }
+                    self.telem.memo_store(id.0, pos, true);
                     self.memo
                         .store(slot, pos, MemoAnswer::success(epoch, end, v.clone()));
                     self.stats.memo_stores += 1;
@@ -848,6 +870,7 @@ impl<'g, 'i> Run<'g, 'i> {
         self.guard()?;
         let epoch_check = self.g.reads_state[eid as usize];
         self.stats.memo_probes += 1;
+        self.telem.memo_probe(REP_HELPER, pos);
         if let Some(ans) = self.memo.probe(slot, pos) {
             if epoch_check && ans.epoch != self.state.epoch() {
                 self.stats.memo_stale += 1;
@@ -858,6 +881,8 @@ impl<'g, 'i> Run<'g, 'i> {
                 let hit = ans.outcome.as_ref().map(|(end, value)| (*end, value.clone()));
                 let ext = self.memo.extent_at(pos);
                 self.examined = self.examined.max(pos.saturating_add(ext));
+                self.telem
+                    .memo_hit(REP_HELPER, pos, self.prod_depth, hit.is_some());
                 return match hit {
                     None => Err(Fail),
                     Some((end, value)) => {
@@ -916,7 +941,12 @@ impl<'g, 'i> Run<'g, 'i> {
             Out::Many(_) => unreachable!("repetitions produce lists"),
         };
         let epoch = if epoch_check { self.state.epoch() } else { 0 };
-        self.store_answer(slot, pos, MemoAnswer::success(epoch, result.0, encoded));
+        self.store_answer(
+            REP_HELPER,
+            slot,
+            pos,
+            MemoAnswer::success(epoch, result.0, encoded),
+        );
         let high = self.examined;
         self.memo.record_extent(pos, high.saturating_sub(pos));
         self.examined = outer_examined.max(high);
@@ -936,6 +966,7 @@ impl<'g, 'i> Run<'g, 'i> {
         self.guard()?;
         let epoch_check = self.g.reads_state[eid as usize];
         self.stats.memo_probes += 1;
+        self.telem.memo_probe(REP_HELPER, pos);
         let mut hit: Option<(u32, Value)> = None;
         if let Some(ans) = self.memo.probe(slot, pos) {
             if !epoch_check || ans.epoch == self.state.epoch() {
@@ -948,6 +979,7 @@ impl<'g, 'i> Run<'g, 'i> {
             self.stats.memo_hits += 1;
             let ext = self.memo.extent_at(pos);
             self.examined = self.examined.max(pos.saturating_add(ext));
+            self.telem.memo_hit(REP_HELPER, pos, self.prod_depth, true);
             return Ok((end, decode_helper(value == Value::Unit, value)));
         }
         self.stats.productions_evaluated += 1;
@@ -967,7 +999,12 @@ impl<'g, 'i> Run<'g, 'i> {
             Out::Many(_) => unreachable!("normalize_opt removed Many"),
         };
         let epoch = if epoch_check { self.state.epoch() } else { 0 };
-        self.store_answer(slot, pos, MemoAnswer::success(epoch, end, encoded));
+        self.store_answer(
+            REP_HELPER,
+            slot,
+            pos,
+            MemoAnswer::success(epoch, end, encoded),
+        );
         let high = self.examined;
         self.memo.record_extent(pos, high.saturating_sub(pos));
         self.examined = outer_examined.max(high);
@@ -1081,6 +1118,18 @@ impl CompiledGrammar {
     /// Like [`CompiledGrammar::parse`], also returning the run's [`Stats`]
     /// (memoization traffic, allocation accounting, backtracking counts).
     pub fn parse_with_stats(&self, text: &str) -> (Result<SyntaxTree, ParseError>, Stats) {
+        self.parse_with_telemetry(text, &Telemetry::disabled())
+    }
+
+    /// Like [`CompiledGrammar::parse_with_stats`], with telemetry hooks
+    /// reporting to `telem` (production spans, memo traffic, backtracks).
+    /// A disabled handle reduces every hook to a single branch, so this
+    /// *is* `parse_with_stats` — the plain entry point delegates here.
+    pub fn parse_with_telemetry(
+        &self,
+        text: &str,
+        telem: &Telemetry,
+    ) -> (Result<SyntaxTree, ParseError>, Stats) {
         if text.len() > u32::MAX as usize {
             // Spans and memo positions are 32-bit; refuse cleanly instead
             // of wrapping.
@@ -1090,6 +1139,7 @@ impl CompiledGrammar {
             return (Err(failures.to_error(&input)), Stats::default());
         }
         let mut run = Run::new(self, text);
+        run.install_telemetry(telem);
         let result = run.eval_prod(self.root, 0);
         let outcome = match result {
             Ok((end, value)) if end == run.input.len() => Ok(SyntaxTree::new(text, value)),
@@ -1152,7 +1202,18 @@ impl CompiledGrammar {
     pub fn parse_incremental(
         &self,
         text: &str,
+        memo: ChunkMemo,
+    ) -> (Result<SyntaxTree, ParseError>, Stats, ChunkMemo) {
+        self.parse_incremental_telemetry(text, memo, &Telemetry::disabled())
+    }
+
+    /// [`CompiledGrammar::parse_incremental`] with telemetry hooks
+    /// reporting to `telem`.
+    pub fn parse_incremental_telemetry(
+        &self,
+        text: &str,
         mut memo: ChunkMemo,
+        telem: &Telemetry,
     ) -> (Result<SyntaxTree, ParseError>, Stats, ChunkMemo) {
         if text.len() > u32::MAX as usize {
             let input = Input::new("");
@@ -1162,7 +1223,7 @@ impl CompiledGrammar {
             return (Err(failures.to_error(&input)), Stats::default(), memo);
         }
         if !self.cfg.chunks {
-            let (result, stats) = self.parse_with_stats(text);
+            let (result, stats) = self.parse_with_telemetry(text, telem);
             return (result, stats, memo);
         }
         if !memo.fits(self.n_slots, text.len() as u32) {
@@ -1170,6 +1231,7 @@ impl CompiledGrammar {
         }
         let mut run = Run::new(self, text);
         run.memo = Memo::Chunk(memo);
+        run.install_telemetry(telem);
         let result = run.eval_prod(self.root, 0);
         let outcome = match result {
             Ok((end, value)) if end == run.input.len() => Ok(SyntaxTree::new(text, value)),
@@ -1233,6 +1295,17 @@ impl CompiledGrammar {
         text: &str,
         gov: &Governor,
     ) -> (Result<SyntaxTree, ParseFault>, Stats) {
+        self.parse_governed_telemetry(text, gov, &Telemetry::disabled())
+    }
+
+    /// [`CompiledGrammar::parse_governed`] with telemetry hooks reporting
+    /// to `telem` (including governor tick totals and abort events).
+    pub fn parse_governed_telemetry(
+        &self,
+        text: &str,
+        gov: &Governor,
+        telem: &Telemetry,
+    ) -> (Result<SyntaxTree, ParseFault>, Stats) {
         if text.len() > u32::MAX as usize {
             let input = Input::new("");
             let mut failures = Failures::new();
@@ -1248,8 +1321,10 @@ impl CompiledGrammar {
         }
         let mut run = Run::new(self, text);
         run.install_governor(gov);
+        run.install_telemetry(telem);
         let result = run.eval_prod(self.root, 0);
         let outcome = governed_outcome(&mut run, text, result);
+        run.finish_governed(gov);
         run.finish_stats();
         (outcome, run.stats)
     }
@@ -1276,8 +1351,20 @@ impl CompiledGrammar {
     pub fn parse_incremental_governed(
         &self,
         text: &str,
+        memo: ChunkMemo,
+        gov: &Governor,
+    ) -> (Result<SyntaxTree, ParseFault>, Stats, ChunkMemo) {
+        self.parse_incremental_governed_telemetry(text, memo, gov, &Telemetry::disabled())
+    }
+
+    /// [`CompiledGrammar::parse_incremental_governed`] with telemetry
+    /// hooks reporting to `telem`.
+    pub fn parse_incremental_governed_telemetry(
+        &self,
+        text: &str,
         mut memo: ChunkMemo,
         gov: &Governor,
+        telem: &Telemetry,
     ) -> (Result<SyntaxTree, ParseFault>, Stats, ChunkMemo) {
         if text.len() > u32::MAX as usize {
             let input = Input::new("");
@@ -1291,7 +1378,7 @@ impl CompiledGrammar {
             );
         }
         if !self.cfg.chunks {
-            let (result, stats) = self.parse_governed(text, gov);
+            let (result, stats) = self.parse_governed_telemetry(text, gov, telem);
             return (result, stats, memo);
         }
         if let Err(kind) = gov.poll() {
@@ -1303,8 +1390,10 @@ impl CompiledGrammar {
         let mut run = Run::new(self, text);
         run.memo = Memo::Chunk(memo);
         run.install_governor(gov);
+        run.install_telemetry(telem);
         let result = run.eval_prod(self.root, 0);
         let outcome = governed_outcome(&mut run, text, result);
+        run.finish_governed(gov);
         run.finish_stats();
         let mut stats = std::mem::take(&mut run.stats);
         let Memo::Chunk(mut memo) = run.memo else {
@@ -1365,19 +1454,10 @@ impl CompiledGrammar {
         text: &str,
         max_events: usize,
     ) -> (Result<SyntaxTree, ParseError>, crate::Trace) {
-        let names = self.prods.iter().map(|p| p.name.clone()).collect();
-        let mut run = Run::new(self, text);
-        run.trace = Some(crate::Trace::new(names, max_events));
-        let result = run.eval_prod(self.root, 0);
-        let outcome = match result {
-            Ok((end, value)) if end == run.input.len() => Ok(SyntaxTree::new(text, value)),
-            Ok((end, _)) => {
-                run.note(end, "end of input");
-                Err(run.failures.to_error(&run.input))
-            }
-            Err(_) => Err(run.failures.to_error(&run.input)),
-        };
-        (outcome, run.trace.expect("installed above"))
+        let telem =
+            Telemetry::collector(max_events).with_mask(modpeg_telemetry::mask::TRACE);
+        let (outcome, _) = self.parse_with_telemetry(text, &telem);
+        (outcome, crate::Trace::from_report(&telem.take_report()))
     }
 
     /// Parses a prefix of `text`: succeeds as soon as the root matches,

@@ -5,8 +5,17 @@
 //! returned, and which answers came from the memo table (Rats!' verbose
 //! mode). Traces are bounded — a packrat parse of even moderate input
 //! evaluates hundreds of thousands of productions.
+//!
+//! Since the telemetry layer landed, this module is a thin adapter: the
+//! events come from the shared `modpeg-telemetry` span collector (masked
+//! to spans + memo hits), and [`Trace`] merely re-shapes them into the
+//! stable [`TraceEvent`] API. The former bespoke bounded-ring logic lives
+//! in the collector now, and a hit cap reports how many events were
+//! dropped instead of truncating silently.
 
 use std::fmt;
+
+use modpeg_telemetry::{EventKind, TelemetryReport};
 
 /// What one traced evaluation did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,33 +54,56 @@ pub struct TraceEvent {
 pub struct Trace {
     pub(crate) names: Vec<String>,
     pub(crate) events: Vec<TraceEvent>,
-    pub(crate) cap: usize,
-    pub(crate) depth: u32,
-    pub(crate) truncated: bool,
+    pub(crate) dropped: u64,
 }
 
 impl Trace {
-    pub(crate) fn new(names: Vec<String>, cap: usize) -> Self {
+    /// Re-shapes a telemetry report (collected under the trace mask)
+    /// into the stable trace API. Anonymous repetition-helper memo
+    /// events are expression-level detail and are skipped.
+    pub(crate) fn from_report(report: &TelemetryReport) -> Self {
+        let mut events = Vec::with_capacity(report.events.len());
+        for event in &report.events {
+            let mapped = match event.kind {
+                EventKind::Enter { prod, pos, depth } => Some((depth, prod, pos, TraceOutcome::Enter)),
+                EventKind::Exit {
+                    prod,
+                    pos,
+                    depth,
+                    end,
+                    matched,
+                } => {
+                    let outcome = if matched {
+                        TraceOutcome::Matched { end }
+                    } else {
+                        TraceOutcome::Failed
+                    };
+                    Some((depth, prod, pos, outcome))
+                }
+                EventKind::MemoHit {
+                    prod,
+                    pos,
+                    depth,
+                    matched,
+                } if prod != modpeg_telemetry::REP_HELPER => {
+                    Some((depth, prod, pos, TraceOutcome::MemoHit { matched }))
+                }
+                _ => None,
+            };
+            if let Some((depth, production, pos, outcome)) = mapped {
+                events.push(TraceEvent {
+                    depth,
+                    production,
+                    pos,
+                    outcome,
+                });
+            }
+        }
         Trace {
-            names,
-            events: Vec::new(),
-            cap,
-            depth: 0,
-            truncated: false,
+            names: report.names.clone(),
+            events,
+            dropped: report.dropped,
         }
-    }
-
-    pub(crate) fn push(&mut self, production: u32, pos: u32, outcome: TraceOutcome) {
-        if self.events.len() >= self.cap {
-            self.truncated = true;
-            return;
-        }
-        self.events.push(TraceEvent {
-            depth: self.depth,
-            production,
-            pos,
-            outcome,
-        });
     }
 
     /// The recorded events, chronologically.
@@ -79,9 +111,14 @@ impl Trace {
         &self.events
     }
 
-    /// Whether the event cap was hit.
+    /// Whether the event cap was hit (some events were dropped).
     pub fn is_truncated(&self) -> bool {
-        self.truncated
+        self.dropped > 0
+    }
+
+    /// How many events the cap discarded.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// The production name for an event.
@@ -112,8 +149,8 @@ impl fmt::Display for Trace {
                 )?,
             }
         }
-        if self.truncated {
-            writeln!(f, "… trace truncated at {} events", self.cap)?;
+        if self.dropped > 0 {
+            writeln!(f, "… {} events dropped", self.dropped)?;
         }
         Ok(())
     }
@@ -122,32 +159,47 @@ impl fmt::Display for Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use modpeg_telemetry::Telemetry;
 
-    #[test]
-    fn push_respects_cap_and_depth() {
-        let mut t = Trace::new(vec!["A".into()], 2);
-        t.depth = 1;
-        t.push(0, 0, TraceOutcome::Enter);
-        t.push(0, 0, TraceOutcome::Matched { end: 3 });
-        t.push(0, 3, TraceOutcome::Failed);
-        assert_eq!(t.events().len(), 2);
-        assert!(t.is_truncated());
-        assert_eq!(t.events()[0].depth, 1);
+    fn collect(f: impl FnOnce(&Telemetry)) -> Trace {
+        let t = Telemetry::collector(16).with_mask(modpeg_telemetry::mask::TRACE);
+        t.set_names(vec!["P".into()]);
+        f(&t);
+        Trace::from_report(&t.take_report())
     }
 
     #[test]
-    fn display_renders_all_event_kinds() {
-        let mut t = Trace::new(vec!["P".into()], 10);
-        t.push(0, 0, TraceOutcome::Enter);
-        t.depth = 1;
-        t.push(0, 0, TraceOutcome::MemoHit { matched: false });
-        t.depth = 0;
-        t.push(0, 0, TraceOutcome::Matched { end: 2 });
-        t.push(0, 2, TraceOutcome::Failed);
-        let s = t.to_string();
+    fn report_events_map_onto_trace_outcomes() {
+        let trace = collect(|t| {
+            let outer = t.enter(0, 0, 0);
+            t.memo_hit(0, 0, 1, false);
+            t.exit(outer, 0, 0, 0, 2, true);
+            let second = t.enter(0, 2, 0);
+            t.exit(second, 0, 2, 0, 2, false);
+            // Repetition-helper hits are expression-level noise.
+            t.memo_hit(modpeg_telemetry::REP_HELPER, 0, 0, true);
+        });
+        assert_eq!(trace.events().len(), 5);
+        assert!(!trace.is_truncated());
+        let s = trace.to_string();
         assert!(s.contains("> P @0"), "{s}");
         assert!(s.contains("  = P @0 memo fail"), "{s}");
         assert!(s.contains("< P @0 ok ..2"), "{s}");
         assert!(s.contains("< P @2 fail"), "{s}");
+    }
+
+    #[test]
+    fn dropped_events_are_reported_not_silent() {
+        let t = Telemetry::collector(2).with_mask(modpeg_telemetry::mask::TRACE);
+        t.set_names(vec!["P".into()]);
+        for i in 0..4 {
+            let tok = t.enter(0, i, 0);
+            t.exit(tok, 0, i, 0, i, false);
+        }
+        let trace = Trace::from_report(&t.take_report());
+        assert_eq!(trace.events().len(), 2);
+        assert!(trace.is_truncated());
+        assert_eq!(trace.dropped(), 6);
+        assert!(trace.to_string().contains("… 6 events dropped"));
     }
 }

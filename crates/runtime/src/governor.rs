@@ -262,6 +262,10 @@ pub struct Governor {
     steps_done: Cell<u64>,
     /// Fuel remaining at the start of the current stride.
     fuel_left: Cell<u64>,
+    /// Stride-boundary refills performed (each one is a batched budget
+    /// poll; surfaced by `parse --stats` as observability into how often
+    /// the deadline/cancellation checks actually ran).
+    refills: Cell<u64>,
     tripped: Cell<Option<ParseAbort>>,
 }
 
@@ -328,6 +332,13 @@ impl Governor {
         self.steps_done.get() + (self.stride.get() - self.countdown.get())
     }
 
+    /// Stride refills performed so far — how many times the batched
+    /// deadline/cancellation poll actually ran (roughly
+    /// [`Governor::steps`] / [`POLL_STRIDE`]).
+    pub fn stride_refills(&self) -> u64 {
+        self.refills.get()
+    }
+
     /// The abort this governor has already signalled, if any.
     pub fn tripped(&self) -> Option<ParseAbort> {
         self.tripped.get()
@@ -376,6 +387,7 @@ impl Governor {
         if let Some(kind) = self.tripped.get() {
             return Err(kind);
         }
+        self.refills.set(self.refills.get() + 1);
         self.account_current_stride();
         if self.initial_fuel.is_some() && self.fuel_left.get() == 0 {
             return Err(self.trip(ParseAbort::FuelExhausted));
@@ -451,6 +463,8 @@ mod tests {
         }
         assert_eq!(gov.tripped(), None);
         assert_eq!(gov.steps(), 10_000);
+        // 10_000 ticks cross ceil(10_000 / POLL_STRIDE) stride boundaries.
+        assert_eq!(gov.stride_refills(), 10_000_u64.div_ceil(POLL_STRIDE as u64));
     }
 
     #[test]

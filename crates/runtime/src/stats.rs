@@ -71,6 +71,12 @@ pub struct Stats {
     /// Governed parse: times the parse fell back to transient-only
     /// memoization (second rung — no further memo stores).
     pub gov_transient_fallbacks: u64,
+    /// Governed parse: evaluation steps ticked against the governor.
+    pub gov_ticks: u64,
+    /// Governed parse: stride-boundary refills (each one is a batched
+    /// budget poll — deadline/cancellation checks amortized over
+    /// `POLL_STRIDE` ticks).
+    pub gov_stride_refills: u64,
 }
 
 impl Stats {
@@ -89,8 +95,10 @@ impl Stats {
         self.memo_bytes + self.value_bytes + self.failure_bytes
     }
 
-    /// Adds every counter of `other` into `self` (for aggregating runs).
-    pub fn absorb(&mut self, other: &Stats) {
+    /// Adds every counter of `other` into `self` — the aggregation
+    /// primitive batch engines and fuzz campaigns use to report totals
+    /// across jobs.
+    pub fn merge(&mut self, other: &Stats) {
         self.productions_evaluated += other.productions_evaluated;
         self.memo_probes += other.memo_probes;
         self.memo_hits += other.memo_hits;
@@ -111,15 +119,30 @@ impl Stats {
         self.gov_evictions += other.gov_evictions;
         self.gov_columns_evicted += other.gov_columns_evicted;
         self.gov_transient_fallbacks += other.gov_transient_fallbacks;
+        self.gov_ticks += other.gov_ticks;
+        self.gov_stride_refills += other.gov_stride_refills;
+    }
+
+    /// Former name of [`Stats::merge`], kept for source compatibility.
+    pub fn absorb(&mut self, other: &Stats) {
+        self.merge(other);
     }
 }
 
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "productions evaluated: {}", self.productions_evaluated)?;
+        // Labels padded to a common column so multi-run aggregates line
+        // up when printed next to each other.
+        const LABEL: usize = 13;
         writeln!(
             f,
-            "memo: {} probes, {} hits ({:.1}%), {} stale, {} stores, {} bytes",
+            "{:<LABEL$}{} evaluated",
+            "productions:", self.productions_evaluated
+        )?;
+        writeln!(
+            f,
+            "{:<LABEL$}{} probes, {} hits ({:.1}%), {} stale, {} stores, {} bytes",
+            "memo:",
             self.memo_probes,
             self.memo_hits,
             self.memo_hit_rate() * 100.0,
@@ -129,18 +152,18 @@ impl fmt::Display for Stats {
         )?;
         writeln!(
             f,
-            "values: {} nodes, {} lists, {} strings, {} bytes",
-            self.nodes_built, self.lists_built, self.strings_built, self.value_bytes
+            "{:<LABEL$}{} nodes, {} lists, {} strings, {} bytes",
+            "values:", self.nodes_built, self.lists_built, self.strings_built, self.value_bytes
         )?;
         writeln!(
             f,
-            "failures: {} records, {} bytes",
-            self.failure_records, self.failure_bytes
+            "{:<LABEL$}{} records, {} bytes",
+            "failures:", self.failure_records, self.failure_bytes
         )?;
         write!(
             f,
-            "work: {} terminal comparisons, {} backtracks",
-            self.terminal_comparisons, self.backtracks
+            "{:<LABEL$}{} terminal comparisons, {} backtracks",
+            "work:", self.terminal_comparisons, self.backtracks
         )?;
         if self.memo_columns_reused > 0
             || self.memo_columns_invalidated > 0
@@ -148,15 +171,23 @@ impl fmt::Display for Stats {
         {
             write!(
                 f,
-                "\nincremental: {} columns reused, {} invalidated, {} entries shifted",
-                self.memo_columns_reused, self.memo_columns_invalidated, self.memo_entries_shifted
+                "\n{:<LABEL$}{} columns reused, {} invalidated, {} entries shifted",
+                "incremental:",
+                self.memo_columns_reused,
+                self.memo_columns_invalidated,
+                self.memo_entries_shifted
             )?;
         }
-        if self.gov_evictions > 0 || self.gov_transient_fallbacks > 0 {
+        if self.gov_ticks > 0 || self.gov_evictions > 0 || self.gov_transient_fallbacks > 0 {
             write!(
                 f,
-                "\ngovernor: {} evictions ({} columns), {} transient fallbacks",
-                self.gov_evictions, self.gov_columns_evicted, self.gov_transient_fallbacks
+                "\n{:<LABEL$}{} ticks, {} stride refills, {} evictions ({} columns), {} transient fallbacks",
+                "governor:",
+                self.gov_ticks,
+                self.gov_stride_refills,
+                self.gov_evictions,
+                self.gov_columns_evicted,
+                self.gov_transient_fallbacks
             )?;
         }
         Ok(())
@@ -206,5 +237,42 @@ mod tests {
     fn display_is_nonempty() {
         let s = Stats::default();
         assert!(s.to_string().contains("memo"));
+    }
+
+    #[test]
+    fn merge_sums_governor_counters() {
+        let mut a = Stats {
+            gov_ticks: 10,
+            gov_stride_refills: 1,
+            ..Stats::default()
+        };
+        let b = Stats {
+            gov_ticks: 5,
+            gov_stride_refills: 2,
+            gov_evictions: 1,
+            ..Stats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.gov_ticks, 15);
+        assert_eq!(a.gov_stride_refills, 3);
+        assert_eq!(a.gov_evictions, 1);
+    }
+
+    #[test]
+    fn display_aligns_labels_and_surfaces_governor() {
+        let s = Stats {
+            gov_ticks: 1000,
+            gov_stride_refills: 2,
+            ..Stats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("governor:"), "{text}");
+        assert!(text.contains("1000 ticks, 2 stride refills"), "{text}");
+        // Every label is padded to the same value column.
+        let columns: Vec<usize> = text
+            .lines()
+            .filter_map(|l| l.find(|c: char| c.is_ascii_digit()))
+            .collect();
+        assert!(columns.windows(2).all(|w| w[0] == w[1]), "{text}");
     }
 }

@@ -58,6 +58,7 @@ use modpeg_interp::CompiledGrammar;
 use modpeg_runtime::{
     ChunkMemo, Governor, GovernorLimits, ParseAbort, ParseError, ParseFault, Stats, SyntaxTree,
 };
+use modpeg_telemetry::Telemetry;
 
 /// An incremental parse session: one document, one memo table, reparsed
 /// after each batch of edits with memoized results reused where sound.
@@ -79,6 +80,7 @@ pub struct ParseSession {
     pending: Stats,
     last_stats: Stats,
     total_stats: Stats,
+    telem: Telemetry,
 }
 
 impl ParseSession {
@@ -115,7 +117,15 @@ impl ParseSession {
             pending: Stats::default(),
             last_stats: Stats::default(),
             total_stats: Stats::default(),
+            telem: Telemetry::disabled(),
         }
+    }
+
+    /// Routes every subsequent parse's telemetry (production spans, memo
+    /// traffic, per-parse memo-reuse summaries) to `telem`. A disabled
+    /// handle detaches the session again.
+    pub fn attach_telemetry(&mut self, telem: &Telemetry) {
+        self.telem = telem.clone();
     }
 
     /// The current document text.
@@ -193,13 +203,20 @@ impl ParseSession {
                 .reset_for(self.grammar.memo_slot_count(), self.doc.len() as u32);
         }
         let memo = std::mem::replace(&mut self.memo, ChunkMemo::new(0, 0));
-        let (result, mut stats, memo) = self.grammar.parse_incremental(&self.doc, memo);
+        let (result, mut stats, memo) =
+            self.grammar
+                .parse_incremental_telemetry(&self.doc, memo, &self.telem);
         self.memo = memo;
         self.primed = true;
         stats.memo_columns_reused += self.pending.memo_columns_reused;
         stats.memo_columns_invalidated += self.pending.memo_columns_invalidated;
         self.pending = Stats::default();
-        self.total_stats.absorb(&stats);
+        self.telem.session_reuse(
+            stats.memo_columns_reused,
+            stats.memo_columns_invalidated,
+            stats.memo_entries_shifted,
+        );
+        self.total_stats.merge(&stats);
         self.last_stats = stats;
         result
     }
@@ -227,7 +244,9 @@ impl ParseSession {
                 .reset_for(self.grammar.memo_slot_count(), self.doc.len() as u32);
         }
         let memo = std::mem::replace(&mut self.memo, ChunkMemo::new(0, 0));
-        let (result, mut stats, memo) = self.grammar.parse_incremental_governed(&self.doc, memo, gov);
+        let (result, mut stats, memo) =
+            self.grammar
+                .parse_incremental_governed_telemetry(&self.doc, memo, gov, &self.telem);
         self.memo = memo;
         // An aborted run's table holds only complete answers, but under
         // seed-growing left recursion it may also hold parked provisional
@@ -239,7 +258,12 @@ impl ParseSession {
         stats.memo_columns_reused += self.pending.memo_columns_reused;
         stats.memo_columns_invalidated += self.pending.memo_columns_invalidated;
         self.pending = Stats::default();
-        self.total_stats.absorb(&stats);
+        self.telem.session_reuse(
+            stats.memo_columns_reused,
+            stats.memo_columns_invalidated,
+            stats.memo_entries_shifted,
+        );
+        self.total_stats.merge(&stats);
         self.last_stats = stats;
         result
     }
@@ -395,6 +419,18 @@ impl BatchEngine {
     /// The number of worker threads the engine will spawn.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Sums the per-document statistics of a corpus run into one
+    /// [`Stats`] (via [`Stats::merge`]) — what a batch-level `--stats`
+    /// report prints. Panicked jobs contribute their default (zero)
+    /// stats.
+    pub fn aggregate_stats(results: &[BatchResult]) -> Stats {
+        let mut total = Stats::default();
+        for r in results {
+            total.merge(&r.stats);
+        }
+        total
     }
 
     /// Parses every document of `docs`, returning one [`BatchResult`] per
@@ -939,6 +975,58 @@ mod tests {
         // The budgets are per document, not shared: every document under
         // the limit parsed even though the corpus total exceeds it.
         assert!(results.iter().any(|r| r.ok) && results.iter().any(|r| !r.ok));
+    }
+
+    #[test]
+    fn attached_telemetry_reports_session_reuse() {
+        use modpeg_telemetry::{mask, EventKind};
+        let parser = calc();
+        let mut session = ParseSession::new(parser, "11+22*33+44");
+        let telem = Telemetry::collector(4096).with_mask(mask::ALL);
+        session.attach_telemetry(&telem);
+        assert!(session.parse().is_ok());
+        session.apply_edit(0..2, "9");
+        assert!(session.parse().is_ok());
+        let report = telem.take_report();
+        let reuse: Vec<_> = report
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::SessionReuse {
+                    reused,
+                    invalidated,
+                    shifted,
+                } => Some((reused, invalidated, shifted)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reuse.len(), 2, "one summary per parse");
+        assert_eq!(reuse[0], (0, 0, 0), "priming parse has nothing to reuse");
+        assert!(reuse[1].0 > 0, "edit reparse must reuse columns: {reuse:?}");
+        // The spans come from the same collector.
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Enter { .. })));
+    }
+
+    #[test]
+    fn batch_engine_aggregates_stats_across_jobs() {
+        let docs: Vec<String> = (0..8)
+            .map(|i| modpeg_workload::calc_expression(i as u64, 80))
+            .collect();
+        let results = BatchEngine::new(3).parse_corpus(
+            || {
+                let g = modpeg_grammars::calc_grammar().unwrap();
+                CompiledGrammar::compile(&g, OptConfig::all()).unwrap()
+            },
+            &docs,
+        );
+        let total = BatchEngine::aggregate_stats(&results);
+        let by_hand: u64 = results.iter().map(|r| r.stats.productions_evaluated).sum();
+        assert_eq!(total.productions_evaluated, by_hand);
+        assert!(total.productions_evaluated > 0);
+        assert!(total.memo_probes >= results[0].stats.memo_probes);
     }
 
     #[test]

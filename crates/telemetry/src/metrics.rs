@@ -1,0 +1,679 @@
+//! Aggregation of a raw event stream into per-production metrics.
+//!
+//! The [`MetricsRegistry`] is the quantitative companion to the
+//! chronological exporters: histograms of evaluation time and backtrack
+//! depth, memo hit-rates, and run-level totals, with Prometheus-style
+//! text and JSON exposition.
+
+use std::fmt;
+
+use crate::json::escape_json;
+use crate::{EventKind, TelemetryReport};
+
+/// Number of histogram buckets (shared by time and backtrack-depth
+/// histograms so exposition code is uniform).
+pub const N_BUCKETS: usize = 16;
+
+/// Upper bounds (inclusive, nanoseconds) of the evaluation-time histogram
+/// buckets: ×4 geometric from 256 ns, final bucket open-ended.
+pub const TIME_BUCKET_NS: [u64; N_BUCKETS] = {
+    let mut b = [0u64; N_BUCKETS];
+    let mut i = 0;
+    let mut bound = 256u64;
+    while i < N_BUCKETS - 1 {
+        b[i] = bound;
+        bound *= 4;
+        i += 1;
+    }
+    b[N_BUCKETS - 1] = u64::MAX;
+    b
+};
+
+/// Upper bounds (inclusive) of the backtrack-depth histogram buckets:
+/// linear strides of 8 production levels, final bucket open-ended.
+pub const BACKTRACK_BUCKET: [u32; N_BUCKETS] = {
+    let mut b = [0u32; N_BUCKETS];
+    let mut i = 0;
+    while i < N_BUCKETS - 1 {
+        b[i] = (i as u32 + 1) * 8;
+        i += 1;
+    }
+    b[N_BUCKETS - 1] = u32::MAX;
+    b
+};
+
+fn time_bucket(ns: u64) -> usize {
+    let mut i = 0;
+    while i < N_BUCKETS - 1 && ns > TIME_BUCKET_NS[i] {
+        i += 1;
+    }
+    i
+}
+
+fn backtrack_bucket(depth: u32) -> usize {
+    let mut i = 0;
+    while i < N_BUCKETS - 1 && depth > BACKTRACK_BUCKET[i] {
+        i += 1;
+    }
+    i
+}
+
+/// Aggregated metrics for one production.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProdMetrics {
+    /// Production name.
+    pub name: String,
+    /// Applications actually evaluated (recorded enter spans).
+    pub evals: u64,
+    /// Evaluations that matched.
+    pub matched: u64,
+    /// Evaluations that failed.
+    pub failed: u64,
+    /// Total (inclusive) nanoseconds across recorded spans.
+    pub total_ns: u64,
+    /// Exclusive nanoseconds (inclusive minus recorded child spans).
+    pub self_ns: u64,
+    /// Deepest production-nesting depth observed.
+    pub max_depth: u32,
+    /// Memo-table lookups.
+    pub memo_probes: u64,
+    /// Lookups that served a stored answer.
+    pub memo_hits: u64,
+    /// Memo entries written.
+    pub memo_stores: u64,
+    /// Alternatives that failed after consuming input.
+    pub backtracks: u64,
+    /// Histogram of span times; bucket `i` counts spans with duration
+    /// ≤ [`TIME_BUCKET_NS`]`[i]` (non-cumulative).
+    pub time_hist: [u64; N_BUCKETS],
+    /// Histogram of backtrack depths; bucket `i` counts backtracks at
+    /// depth ≤ [`BACKTRACK_BUCKET`]`[i]` (non-cumulative).
+    pub backtrack_hist: [u64; N_BUCKETS],
+}
+
+impl ProdMetrics {
+    /// Fraction of memo probes that hit, or 0.0 with no probes.
+    pub fn memo_hit_rate(&self) -> f64 {
+        if self.memo_probes == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / self.memo_probes as f64
+        }
+    }
+}
+
+/// Run-level totals that are not per-production.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Totals {
+    /// Events collected.
+    pub events: u64,
+    /// Events discarded by the buffer cap.
+    pub dropped: u64,
+    /// Span sampling rate in effect (1 = every span).
+    pub sample: u32,
+    /// Wall-clock nanoseconds covered by the report.
+    pub wall_ns: u64,
+    /// Memo-budget eviction passes.
+    pub evictions: u64,
+    /// Memo columns freed by evictions.
+    pub columns_evicted: u64,
+    /// Governed aborts, by stable reason name.
+    pub aborts: Vec<(&'static str, u64)>,
+    /// Governor evaluation steps ticked.
+    pub gov_ticks: u64,
+    /// Governor stride refills.
+    pub gov_refills: u64,
+    /// Session memo columns reused across edits.
+    pub session_reused: u64,
+    /// Session memo columns invalidated by edits.
+    pub session_invalidated: u64,
+    /// Session memo entries shifted to post-edit coordinates.
+    pub session_shifted: u64,
+}
+
+/// Per-production metrics aggregated from one [`TelemetryReport`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    /// One entry per production that produced any event, dense by
+    /// production index; the final entry aggregates the anonymous
+    /// repetition helpers when they produced events.
+    pub prods: Vec<ProdMetrics>,
+    /// Run-level totals.
+    pub totals: Totals,
+}
+
+impl MetricsRegistry {
+    /// Aggregates a report's event stream.
+    ///
+    /// Span pairing walks the stream with an explicit stack; an exit
+    /// whose production does not match the open span (possible only when
+    /// the cap truncated the stream) is ignored rather than mis-paired.
+    pub fn from_report(report: &TelemetryReport) -> Self {
+        let mut n = report.names.len();
+        let rep_events = report.events.iter().any(|e| {
+            matches!(
+                e.kind,
+                EventKind::Enter { prod, .. }
+                | EventKind::Exit { prod, .. }
+                | EventKind::MemoProbe { prod, .. }
+                | EventKind::MemoHit { prod, .. }
+                | EventKind::MemoStore { prod, .. }
+                | EventKind::Backtrack { prod, .. }
+                if prod == crate::REP_HELPER
+            )
+        });
+        let rep_index = if rep_events {
+            n += 1;
+            Some(n - 1)
+        } else {
+            None
+        };
+        let mut prods: Vec<ProdMetrics> = (0..n)
+            .map(|i| ProdMetrics {
+                name: if Some(i) == rep_index {
+                    "(repetition)".to_string()
+                } else {
+                    report.name_of(i as u32).to_string()
+                },
+                ..ProdMetrics::default()
+            })
+            .collect();
+        let index = |prod: u32| -> Option<usize> {
+            if prod == crate::REP_HELPER {
+                rep_index
+            } else if (prod as usize) < report.names.len() {
+                Some(prod as usize)
+            } else {
+                None
+            }
+        };
+        let mut totals = Totals {
+            events: report.events.len() as u64,
+            dropped: report.dropped,
+            sample: report.sample,
+            wall_ns: report.wall_ns,
+            ..Totals::default()
+        };
+        // Open spans: (prod, start_ns, child_ns accumulated so far).
+        let mut stack: Vec<(u32, u64, u64)> = Vec::new();
+        for event in &report.events {
+            match event.kind {
+                EventKind::Enter { prod, pos: _, depth } => {
+                    if let Some(i) = index(prod) {
+                        prods[i].evals += 1;
+                        prods[i].max_depth = prods[i].max_depth.max(depth);
+                    }
+                    stack.push((prod, event.at_ns, 0));
+                }
+                EventKind::Exit { prod, matched, .. } => {
+                    if stack.last().map(|s| s.0) != Some(prod) {
+                        continue; // truncated stream; never mis-pair
+                    }
+                    let (_, start, child_ns) = stack.pop().expect("matched above");
+                    let dur = event.at_ns.saturating_sub(start);
+                    if let Some((_, _, parent_child)) = stack.last_mut() {
+                        *parent_child += dur;
+                    }
+                    if let Some(i) = index(prod) {
+                        let p = &mut prods[i];
+                        p.total_ns += dur;
+                        p.self_ns += dur.saturating_sub(child_ns);
+                        p.time_hist[time_bucket(dur)] += 1;
+                        if matched {
+                            p.matched += 1;
+                        } else {
+                            p.failed += 1;
+                        }
+                    }
+                }
+                EventKind::MemoProbe { prod, .. } => {
+                    if let Some(i) = index(prod) {
+                        prods[i].memo_probes += 1;
+                    }
+                }
+                EventKind::MemoHit { prod, depth, .. } => {
+                    if let Some(i) = index(prod) {
+                        prods[i].memo_hits += 1;
+                        prods[i].max_depth = prods[i].max_depth.max(depth);
+                    }
+                }
+                EventKind::MemoStore { prod, .. } => {
+                    if let Some(i) = index(prod) {
+                        prods[i].memo_stores += 1;
+                    }
+                }
+                EventKind::MemoEvict { columns, .. } => {
+                    totals.evictions += 1;
+                    totals.columns_evicted += u64::from(columns);
+                }
+                EventKind::Backtrack { prod, depth, .. } => {
+                    if let Some(i) = index(prod) {
+                        prods[i].backtracks += 1;
+                        prods[i].backtrack_hist[backtrack_bucket(depth)] += 1;
+                    }
+                }
+                EventKind::GovAbort { reason } => {
+                    match totals.aborts.iter_mut().find(|(r, _)| *r == reason) {
+                        Some((_, count)) => *count += 1,
+                        None => totals.aborts.push((reason, 1)),
+                    }
+                }
+                EventKind::GovTicks { ticks, refills } => {
+                    totals.gov_ticks += ticks;
+                    totals.gov_refills += refills;
+                }
+                EventKind::SessionReuse {
+                    reused,
+                    invalidated,
+                    shifted,
+                } => {
+                    totals.session_reused += reused;
+                    totals.session_invalidated += invalidated;
+                    totals.session_shifted += shifted;
+                }
+            }
+        }
+        MetricsRegistry { prods, totals }
+    }
+
+    /// Prometheus text exposition (counters and cumulative histograms,
+    /// one `production` label per grammar production).
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let counter = |out: &mut String, name: &str, help: &str| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+        };
+        let label = |name: &str| escape_prom_label(name);
+
+        counter(
+            &mut out,
+            "modpeg_production_evaluations_total",
+            "Production applications evaluated (memo misses and unmemoized)",
+        );
+        for p in self.active() {
+            let _ = writeln!(
+                out,
+                "modpeg_production_evaluations_total{{production=\"{}\"}} {}",
+                label(&p.name),
+                p.evals
+            );
+        }
+        counter(
+            &mut out,
+            "modpeg_production_matched_total",
+            "Evaluations that matched",
+        );
+        for p in self.active() {
+            let _ = writeln!(
+                out,
+                "modpeg_production_matched_total{{production=\"{}\"}} {}",
+                label(&p.name),
+                p.matched
+            );
+        }
+        counter(
+            &mut out,
+            "modpeg_production_memo_probes_total",
+            "Memo-table lookups",
+        );
+        for p in self.active() {
+            let _ = writeln!(
+                out,
+                "modpeg_production_memo_probes_total{{production=\"{}\"}} {}",
+                label(&p.name),
+                p.memo_probes
+            );
+        }
+        counter(
+            &mut out,
+            "modpeg_production_memo_hits_total",
+            "Memo-table lookups that served a stored answer",
+        );
+        for p in self.active() {
+            let _ = writeln!(
+                out,
+                "modpeg_production_memo_hits_total{{production=\"{}\"}} {}",
+                label(&p.name),
+                p.memo_hits
+            );
+        }
+        counter(
+            &mut out,
+            "modpeg_production_backtracks_total",
+            "Alternatives that failed after consuming input",
+        );
+        for p in self.active() {
+            let _ = writeln!(
+                out,
+                "modpeg_production_backtracks_total{{production=\"{}\"}} {}",
+                label(&p.name),
+                p.backtracks
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP modpeg_production_time_ns Evaluation time per application, nanoseconds"
+        );
+        let _ = writeln!(out, "# TYPE modpeg_production_time_ns histogram");
+        for p in self.active() {
+            let mut cumulative = 0u64;
+            for (i, &count) in p.time_hist.iter().enumerate() {
+                cumulative += count;
+                let le = if TIME_BUCKET_NS[i] == u64::MAX {
+                    "+Inf".to_string()
+                } else {
+                    TIME_BUCKET_NS[i].to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "modpeg_production_time_ns_bucket{{production=\"{}\",le=\"{le}\"}} {cumulative}",
+                    label(&p.name)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "modpeg_production_time_ns_sum{{production=\"{}\"}} {}",
+                label(&p.name),
+                p.total_ns
+            );
+            let _ = writeln!(
+                out,
+                "modpeg_production_time_ns_count{{production=\"{}\"}} {cumulative}",
+                label(&p.name)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP modpeg_production_backtrack_depth Backtrack nesting depth"
+        );
+        let _ = writeln!(out, "# TYPE modpeg_production_backtrack_depth histogram");
+        for p in self.active().filter(|p| p.backtracks > 0) {
+            let mut cumulative = 0u64;
+            for (i, &count) in p.backtrack_hist.iter().enumerate() {
+                cumulative += count;
+                let le = if BACKTRACK_BUCKET[i] == u32::MAX {
+                    "+Inf".to_string()
+                } else {
+                    BACKTRACK_BUCKET[i].to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "modpeg_production_backtrack_depth_bucket{{production=\"{}\",le=\"{le}\"}} {cumulative}",
+                    label(&p.name)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "modpeg_production_backtrack_depth_count{{production=\"{}\"}} {cumulative}",
+                label(&p.name)
+            );
+        }
+        counter(&mut out, "modpeg_events_total", "Telemetry events collected");
+        let _ = writeln!(out, "modpeg_events_total {}", self.totals.events);
+        counter(
+            &mut out,
+            "modpeg_events_dropped_total",
+            "Telemetry events discarded by the buffer cap",
+        );
+        let _ = writeln!(out, "modpeg_events_dropped_total {}", self.totals.dropped);
+        counter(
+            &mut out,
+            "modpeg_memo_evictions_total",
+            "Memo-budget eviction passes",
+        );
+        let _ = writeln!(out, "modpeg_memo_evictions_total {}", self.totals.evictions);
+        counter(
+            &mut out,
+            "modpeg_governor_ticks_total",
+            "Governor evaluation steps ticked",
+        );
+        let _ = writeln!(out, "modpeg_governor_ticks_total {}", self.totals.gov_ticks);
+        counter(&mut out, "modpeg_aborts_total", "Governed parse aborts");
+        for (reason, count) in &self.totals.aborts {
+            let _ = writeln!(out, "modpeg_aborts_total{{reason=\"{reason}\"}} {count}");
+        }
+        out
+    }
+
+    /// JSON exposition of the same aggregates (an object with a
+    /// `productions` array and a `totals` object).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{\"productions\":[");
+        for (i, p) in self.active().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"evals\":{},\"matched\":{},\"failed\":{},\"total_ns\":{},\"self_ns\":{},\"max_depth\":{},\"memo_probes\":{},\"memo_hits\":{},\"memo_hit_rate\":{:.4},\"memo_stores\":{},\"backtracks\":{}}}",
+                escape_json(&p.name),
+                p.evals,
+                p.matched,
+                p.failed,
+                p.total_ns,
+                p.self_ns,
+                p.max_depth,
+                p.memo_probes,
+                p.memo_hits,
+                p.memo_hit_rate(),
+                p.memo_stores,
+                p.backtracks
+            );
+        }
+        let t = &self.totals;
+        let _ = write!(
+            out,
+            "],\"totals\":{{\"events\":{},\"dropped\":{},\"sample\":{},\"wall_ns\":{},\"evictions\":{},\"columns_evicted\":{},\"gov_ticks\":{},\"gov_refills\":{},\"session_reused\":{},\"session_invalidated\":{},\"session_shifted\":{},\"aborts\":[",
+            t.events,
+            t.dropped,
+            t.sample,
+            t.wall_ns,
+            t.evictions,
+            t.columns_evicted,
+            t.gov_ticks,
+            t.gov_refills,
+            t.session_reused,
+            t.session_invalidated,
+            t.session_shifted
+        );
+        for (i, (reason, count)) in t.aborts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"reason\":\"{reason}\",\"count\":{count}}}");
+        }
+        out.push_str("]}}");
+        out
+    }
+
+    /// Productions with any recorded activity.
+    fn active(&self) -> impl Iterator<Item = &ProdMetrics> {
+        self.prods.iter().filter(|p| {
+            p.evals > 0 || p.memo_probes > 0 || p.memo_stores > 0 || p.backtracks > 0
+        })
+    }
+}
+
+fn escape_prom_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Compact human-readable summary: run totals plus the top productions
+/// by inclusive time (what `--telemetry` prints after a parse).
+impl fmt::Display for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = &self.totals;
+        writeln!(
+            f,
+            "telemetry: {} events ({} dropped), sample 1/{}, {:.3} ms wall",
+            t.events,
+            t.dropped,
+            t.sample,
+            t.wall_ns as f64 / 1e6
+        )?;
+        if t.gov_ticks > 0 || !t.aborts.is_empty() {
+            write!(
+                f,
+                "governor: {} ticks, {} refills",
+                t.gov_ticks, t.gov_refills
+            )?;
+            for (reason, count) in &t.aborts {
+                write!(f, ", {count} × {reason}")?;
+            }
+            writeln!(f)?;
+        }
+        if t.session_reused > 0 || t.session_invalidated > 0 {
+            writeln!(
+                f,
+                "session: {} columns reused, {} invalidated, {} entries shifted",
+                t.session_reused, t.session_invalidated, t.session_shifted
+            )?;
+        }
+        let mut ranked: Vec<&ProdMetrics> = self.active().collect();
+        ranked.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(b.evals.cmp(&a.evals)));
+        if ranked.is_empty() {
+            return Ok(());
+        }
+        writeln!(
+            f,
+            "{:<24} {:>8} {:>10} {:>10} {:>9} {:>10}",
+            "production", "evals", "total ms", "self ms", "memo hit%", "backtracks"
+        )?;
+        for p in ranked.iter().take(12) {
+            writeln!(
+                f,
+                "{:<24} {:>8} {:>10.3} {:>10.3} {:>8.1}% {:>10}",
+                p.name,
+                p.evals,
+                p.total_ns as f64 / 1e6,
+                p.self_ns as f64 / 1e6,
+                p.memo_hit_rate() * 100.0,
+                p.backtracks
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    fn sample_report() -> TelemetryReport {
+        let t = Telemetry::collector(1024);
+        t.set_names(vec!["Root".into(), "Leaf".into()]);
+        t.set_input_len(10);
+        let root = t.enter(0, 0, 0);
+        let leaf = t.enter(1, 0, 1);
+        t.memo_probe(1, 0);
+        t.memo_store(1, 0, true);
+        t.exit(leaf, 1, 0, 1, 4, true);
+        t.memo_probe(1, 4);
+        t.memo_hit(1, 4, 1, false);
+        t.backtrack(0, 4, 0);
+        t.exit(root, 0, 0, 0, 4, true);
+        t.gov_ticks(100, 2);
+        t.session_reuse(5, 1, 9);
+        t.take_report()
+    }
+
+    #[test]
+    fn aggregates_counts_and_pairing() {
+        let r = MetricsRegistry::from_report(&sample_report());
+        assert_eq!(r.prods.len(), 2);
+        let root = &r.prods[0];
+        let leaf = &r.prods[1];
+        assert_eq!(root.evals, 1);
+        assert_eq!(root.matched, 1);
+        assert_eq!(root.backtracks, 1);
+        assert_eq!(leaf.evals, 1);
+        assert_eq!(leaf.memo_probes, 2);
+        assert_eq!(leaf.memo_hits, 1);
+        assert_eq!(leaf.memo_stores, 1);
+        assert!((leaf.memo_hit_rate() - 0.5).abs() < 1e-9);
+        // Child time is subtracted from the parent's self time.
+        assert!(root.total_ns >= leaf.total_ns);
+        assert_eq!(root.self_ns, root.total_ns - leaf.total_ns);
+        assert_eq!(r.totals.gov_ticks, 100);
+        assert_eq!(r.totals.session_reused, 5);
+        assert_eq!(r.totals.session_shifted, 9);
+    }
+
+    #[test]
+    fn tolerates_truncated_streams() {
+        let t = Telemetry::collector(1); // only the first event fits
+        let tok = t.enter(0, 0, 0);
+        t.exit(tok, 0, 0, 0, 3, true); // dropped by the cap
+        let report = t.take_report();
+        assert_eq!(report.dropped, 1);
+        let r = MetricsRegistry::from_report(&report);
+        // The unclosed span contributes an eval but no duration.
+        assert_eq!(r.prods.len(), 0); // no names were set
+        assert_eq!(r.totals.dropped, 1);
+    }
+
+    #[test]
+    fn repetition_helper_gets_its_own_row() {
+        let t = Telemetry::collector(64);
+        t.set_names(vec!["Root".into()]);
+        t.memo_probe(crate::REP_HELPER, 0);
+        t.memo_store(crate::REP_HELPER, 0, true);
+        let r = MetricsRegistry::from_report(&t.take_report());
+        assert_eq!(r.prods.len(), 2);
+        assert_eq!(r.prods[1].name, "(repetition)");
+        assert_eq!(r.prods[1].memo_probes, 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_shaped() {
+        let text = MetricsRegistry::from_report(&sample_report()).to_prometheus();
+        assert!(text.contains("# TYPE modpeg_production_evaluations_total counter"));
+        assert!(text.contains("modpeg_production_evaluations_total{production=\"Root\"} 1"));
+        assert!(text.contains("modpeg_production_time_ns_bucket{production=\"Root\",le=\"+Inf\"}"));
+        assert!(text.contains("modpeg_governor_ticks_total 100"));
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable value in line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_exposition_is_valid_json() {
+        let json = MetricsRegistry::from_report(&sample_report()).to_json();
+        crate::validate_json(&json).expect("metrics JSON must validate");
+        assert!(json.contains("\"name\":\"Leaf\""));
+        assert!(json.contains("\"gov_ticks\":100"));
+    }
+
+    #[test]
+    fn display_summary_mentions_top_production() {
+        let r = MetricsRegistry::from_report(&sample_report());
+        let s = r.to_string();
+        assert!(s.contains("telemetry:"), "{s}");
+        assert!(s.contains("Root"), "{s}");
+        assert!(s.contains("governor: 100 ticks"), "{s}");
+        assert!(s.contains("session: 5 columns reused"), "{s}");
+    }
+
+    #[test]
+    fn histogram_bucket_bounds_are_monotonic() {
+        for w in TIME_BUCKET_NS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for w in BACKTRACK_BUCKET.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(time_bucket(0), 0);
+        assert_eq!(time_bucket(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(backtrack_bucket(u32::MAX), N_BUCKETS - 1);
+    }
+}

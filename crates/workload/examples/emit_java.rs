@@ -1,0 +1,10 @@
+//! Emits a deterministic Java workload program to stdout.
+//!
+//! Usage: cargo run --example emit_java -- [seed] [bytes]
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().map_or(0, |s| s.parse().expect("seed"));
+    let bytes: usize = args.next().map_or(4096, |s| s.parse().expect("bytes"));
+    print!("{}", modpeg_workload::java_program(seed, bytes));
+}

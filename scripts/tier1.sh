@@ -26,4 +26,7 @@ sh scripts/fuzz-smoke.sh
 echo "== tier-1: fault-injection smoke =="
 sh scripts/fault-smoke.sh
 
+echo "== tier-1: telemetry/profiling smoke =="
+sh scripts/profile-smoke.sh
+
 echo "== tier-1: OK =="

@@ -1,0 +1,164 @@
+// synthetic workload
+class Gen1 {
+    int pos35;
+    int offset33 = 50;
+    int data = 22;
+    boolean pos41(int node, int size76) {
+        while (flag[36] < tmp80) {
+            while (pos(count, 'm') != node.offset91) {
+                value(total32.flag / (595 + index / data34) % -198 < 150, "msg");
+                total(item, "msg");
+            }
+            if (-result >= result71[862] && state <= 195) {
+                node(count - right[data] >= right, "msg");
+                buffer(value - 't' + 'w', "msg");
+                limit(716 * -546 * 179, "msg");
+            }
+            size3(115 % 'i' * 713 != data, "msg");
+        }
+        value(state(value, 386), "msg");
+        pos = -sum24 / (value[total53] * -flag % 185) * index68[pos60.result80(data, 0)];
+        for (int acc = 0; acc < 16; acc = acc + 1) {
+            for (int pos = 0; pos < 47; pos = pos + 1) {
+                item('o', "msg");
+                sum(result[left] * limit + 927, "msg");
+                offset30 = tmp38(634, value.limit) * 848;
+            }
+        }
+        result = acc(18, left66[536]);
+        return true;
+    }
+    void buffer(int sum21, int size) {
+        if ('a' == state[473]) {
+            size = buffer((acc90 * node + right38), (item - node45));
+        }
+        acc(509, "msg");
+        item28('p' / 31 - 791, "msg");
+        limit('j' % 84, "msg");
+        return;
+    }
+}
+
+class Gen2 {
+    int left56 = 93;
+    boolean result(int tmp48, int result2) {
+        item = 'a' * sum(931, state);
+        while (limit <= -720 && acc != limit) {
+            do {
+                result7(total50[266] % tmp99, "msg");
+            } while (289 > tmp82);
+            int sum6 = limit((buffer % 714 - 28), 451) + 'o' - result8(331, size);
+            value72 = 514;
+        }
+        int result83 = total[591] / 144;
+        for (int total = 0; total < 46; total = total + 1) {
+            data(flag.limit21 + 477 * left, "msg");
+            int[] size = flag74;
+            left(-right * -node % count(right, flag) <= sum75, "msg");
+        }
+        return true;
+    }
+    int offset(int right, int node) {
+        for (int acc16 = 0; acc16 < 3; acc16 = acc16 + 1) {
+            pos12 = index % total % value(413, offset);
+            right = result12 + offset.left26('x', 0);
+            acc81 = 471;
+        }
+        for (int right = 0; right < 15; right = right + 1) {
+            count62(527 % 859 / 712, "msg");
+            if (143 <= index3) {
+                value = -item;
+                index61(-index - -size - data, "msg");
+            }
+        }
+        total22(node58[955] % 940 <= 535, "msg");
+        return limit[left];
+    }
+    boolean right(int size39, int flag17) {
+        int tmp = right % 563 % (left[value]);
+        left = 183 - limit;
+        int[] left64 = sum;
+        for (int right = 0; right < 66; right = right + 1) {
+            result = 'v' + size + data((848), item) < -data;
+            if (sum == result) {
+                node(sum98[315], "msg");
+            } else {
+                offset = total48 / index.count(-'y', 0);
+                node63(buffer <= flag, "msg");
+            }
+        }
+        return true;
+    }
+}
+
+class Gen3 {
+    int left = 68;
+    int count = 32;
+    int right = 47;
+    int tmp60(int offset, int pos) {
+        while (!(item == result && left10 < item)) {
+            acc52 = -size * limit.tmp;
+            item40 = 980 + value.pos;
+        }
+        tmp(flag54.flag74(254, 0), "msg");
+        flag7 = 'z' + 135;
+        return -551 - 420 * -'b';
+    }
+}
+
+class Gen4 {
+    int count22;
+    int right57;
+    int state(int offset, int count) {
+        right64(index, "msg");
+        left23 = 'k' - 202;
+        return right[acc] <= 683;
+    }
+    int pos(int limit, int value63) {
+        do {
+            while (!((value * state4) == 606)) {
+                value(count98.data * 594, "msg");
+                acc = -(total22) / left38 / 786 < value.value(size, 0);
+                data(tmp % 865 + 339, "msg");
+            }
+            acc((540 + buffer0 / data) * -left63 / 119, "msg");
+            total = 443 * 694;
+        } while (acc56 < 'z');
+        int[] value = total64;
+        index6(buffer41[data] * right[33] - offset(data75, count), "msg");
+        if (node.index < right75) {
+            if (586 != 72) {
+                total(index, "msg");
+            }
+            int limit = value;
+            int total = item80[86] % result61;
+        }
+        tmp(-size14 != 451, "msg");
+        return state.total(655, 0) / 'v';
+    }
+    boolean total(int node36, int tmp45) {
+        do {
+            item42 = 517 / 235;
+        } while (sum60 > node);
+        int right19 = result94 - result((index * flag85 * 794), offset15(pos44, item)) + state29.buffer82 > 859;
+        int acc65 = right + left(size, 559);
+        if (!(320 != pos90)) {
+            limit16 = value81[100] != buffer99;
+            buffer(pos[379] + 'j' / 187, "msg");
+            item82 = index74[state];
+        } else {
+            for (int value22 = 0; value22 < 91; value22 = value22 + 1) {
+                flag(187 + total(pos, flag), "msg");
+                total(31, "msg");
+            }
+        }
+        if (!(size >= -917)) {
+            count = sum / data / acc[data[limit71]];
+        } else {
+            offset(948, "msg");
+            node(data73 - node42(287, 613) * 323, "msg");
+        }
+        return true;
+    }
+}
+
