@@ -1,0 +1,156 @@
+//! E12 — the bytecode machine (`modpeg-vm`) against the tree-walking
+//! interpreter and the generated parser, at the same optimization level
+//! (`OptConfig::all()`) on the same inputs.
+//!
+//! Methodology: **paired-interleaved rounds**. Each timed round runs every
+//! engine back-to-back over the whole input set (interp, then vm, then
+//! generated), so thermal drift, frequency scaling, and allocator state
+//! bias all engines equally instead of whichever ran last. Medians are
+//! taken per engine across rounds. Before timing, every engine's tree is
+//! checked byte-identical on every input — a throughput number for a
+//! parser that builds a different tree would be meaningless.
+//!
+//! Knobs: `MODPEG_BENCH_BYTES` (default 24000), `MODPEG_BENCH_SEEDS` (3),
+//! `MODPEG_BENCH_RUNS` (5).
+
+use std::time::Duration;
+
+use modpeg_bench::{kib_per_s, ms, time_once, Knobs};
+use modpeg_interp::{CompiledGrammar, OptConfig};
+use modpeg_runtime::{ParseError, SyntaxTree};
+use modpeg_vm::VmProgram;
+
+type GenParse = fn(&str) -> Result<SyntaxTree, ParseError>;
+
+struct Family {
+    name: &'static str,
+    grammar: fn() -> Result<modpeg_core::Grammar, modpeg_core::Diagnostics>,
+    workload: fn(u64, usize) -> String,
+    generated: GenParse,
+}
+
+const FAMILIES: &[Family] = &[
+    Family {
+        name: "calc",
+        grammar: modpeg_grammars::calc_grammar,
+        workload: modpeg_workload::calc_expression,
+        generated: modpeg_grammars::generated::calc::parse,
+    },
+    Family {
+        name: "json",
+        grammar: modpeg_grammars::json_grammar,
+        workload: modpeg_workload::json_document,
+        generated: modpeg_grammars::generated::json::parse,
+    },
+    Family {
+        name: "java",
+        grammar: modpeg_grammars::java_grammar,
+        workload: modpeg_workload::java_program,
+        generated: modpeg_grammars::generated::java::parse,
+    },
+    Family {
+        name: "c",
+        grammar: modpeg_grammars::c_grammar,
+        workload: modpeg_workload::c_program,
+        generated: modpeg_grammars::generated::c::parse,
+    },
+];
+
+fn median(mut times: Vec<Duration>) -> Duration {
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let knobs = Knobs::from_env(24_000, 3, 5);
+    println!(
+        "E12 — bytecode machine vs interpreter vs generated parser\n\
+         ({} inputs x {} bytes per grammar, all engines at full optimization,\n\
+         median of {} paired-interleaved rounds; trees verified identical)\n",
+        knobs.seeds, knobs.bytes, knobs.runs
+    );
+
+    let mut rows = Vec::new();
+    for family in FAMILIES {
+        let grammar = (family.grammar)().expect("grammar elaborates");
+        let interp = CompiledGrammar::compile(&grammar, OptConfig::all()).expect("compiles");
+        let vm = VmProgram::from_compiled(&interp).expect("bytecode assembles");
+        let inputs: Vec<String> = (0..knobs.seeds)
+            .map(|s| (family.workload)(s, knobs.bytes))
+            .collect();
+        let total_bytes: usize = inputs.iter().map(String::len).sum();
+
+        // Identical trees first; a faster wrong parser is no parser.
+        for input in &inputs {
+            let reference = interp.parse(input).expect("interp parses").to_sexpr();
+            assert_eq!(
+                vm.parse(input).expect("vm parses").to_sexpr(),
+                reference,
+                "{}: vm tree diverged",
+                family.name
+            );
+            assert_eq!(
+                (family.generated)(input).expect("codegen parses").to_sexpr(),
+                reference,
+                "{}: generated tree diverged",
+                family.name
+            );
+        }
+
+        // Paired-interleaved timing: one warmup round, then `runs` rounds
+        // of interp → vm → generated over the whole input set.
+        let mut t_interp = Vec::with_capacity(knobs.runs);
+        let mut t_vm = Vec::with_capacity(knobs.runs);
+        let mut t_gen = Vec::with_capacity(knobs.runs);
+        for round in 0..=knobs.runs {
+            let (di, _) = time_once(|| {
+                for i in &inputs {
+                    std::hint::black_box(interp.parse(i).expect("parses"));
+                }
+            });
+            let (dv, _) = time_once(|| {
+                for i in &inputs {
+                    std::hint::black_box(vm.parse(i).expect("parses"));
+                }
+            });
+            let (dg, _) = time_once(|| {
+                for i in &inputs {
+                    std::hint::black_box((family.generated)(i).expect("parses"));
+                }
+            });
+            if round > 0 {
+                t_interp.push(di);
+                t_vm.push(dv);
+                t_gen.push(dg);
+            }
+        }
+        let (mi, mv, mg) = (median(t_interp), median(t_vm), median(t_gen));
+        rows.push(vec![
+            family.name.to_owned(),
+            ms(mi),
+            ms(mv),
+            ms(mg),
+            kib_per_s(total_bytes, mv),
+            format!("{:.2}x", mi.as_secs_f64() / mv.as_secs_f64().max(1e-9)),
+            format!("{:.2}x", mv.as_secs_f64() / mg.as_secs_f64().max(1e-9)),
+        ]);
+    }
+
+    modpeg_bench::print_table(
+        &[
+            "grammar",
+            "interp ms",
+            "vm ms",
+            "codegen ms",
+            "vm KiB/s",
+            "vm vs interp",
+            "codegen vs vm",
+        ],
+        &rows,
+    );
+    println!(
+        "\n`vm vs interp` > 1 means the bytecode machine beats the tree-walking\n\
+         interpreter at the same optimization level; `codegen vs vm` > 1 means\n\
+         the generated parser is still faster than the machine."
+    );
+}

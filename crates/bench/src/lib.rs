@@ -14,6 +14,8 @@
 //! | `table_extend` | E6 — extensibility case study |
 //! | `fig_incremental` | E8 — incremental reparse sessions |
 //! | `fig_governor_overhead` | E10 — resource-governance guard overhead |
+//! | `fig_telemetry_overhead` | E11 — telemetry hook overhead |
+//! | `fig_vm` | E12 — bytecode machine vs interpreter vs generated parser |
 //!
 //! This library crate holds the shared measurement utilities.
 

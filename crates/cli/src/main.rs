@@ -3,14 +3,15 @@
 //! ```text
 //! modpeg check  <grammar.mpeg>... --root <module> [--start <prod>] [--dump]
 //! modpeg stats  <grammar.mpeg>...
-//! modpeg parse  <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--stats]
-//!               [--telemetry] [--deadline-ms <n>] [--fuel <n>] [--max-depth <n>] [--memo-budget <bytes>]
+//! modpeg parse  <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--engine interp|vm]
+//!               [--stats] [--telemetry] [--deadline-ms <n>] [--fuel <n>] [--max-depth <n>] [--memo-budget <bytes>]
+//! modpeg compile <grammar.mpeg>... --root <module> [--start <prod>] [--dump-bytecode] [--out <file>]
 //! modpeg profile <grammar.mpeg>... --root <module> [--start <prod>] --input <file>
 //!               [--format chrome|folded|prom|heatmap|heatmap-csv|json|summary] [--sample <n>] [--out <file>]
 //! modpeg gen    <grammar.mpeg>... --root <module> [--start <prod>] [--out <file.rs>]
 //! modpeg session-bench <grammar.mpeg>... --root <module> --input <file> [--edits <n>] [--telemetry]
 //! modpeg fuzz  [--grammar calc|json|java|c|all] [--seeds <n>] [--engines <list>] [--smoke] [--telemetry]
-//! modpeg fault [--grammar calc|json|java|c|all] [--seeds <n>] [--smoke]
+//! modpeg fault [--grammar calc|json|java|c|all] [--seeds <n>] [--engines <list>] [--smoke]
 //! ```
 //!
 //! ## Exit codes
@@ -33,7 +34,7 @@ use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use modpeg_conformance::{
-    fault_grammar, fuzz_grammar, EngineSet, FaultConfig, FuzzConfig, GrammarId,
+    fault_grammar, fuzz_grammar, EngineKind, EngineSet, FaultConfig, FuzzConfig, GrammarId,
 };
 use modpeg_core::Grammar;
 use modpeg_interp::{CompiledGrammar, OptConfig};
@@ -90,6 +91,7 @@ struct Args {
     edits: usize,
     seeds: Option<u64>,
     grammar: Option<String>,
+    engine: Option<String>,
     engines: Option<String>,
     deadline_ms: Option<u64>,
     fuel: Option<u64>,
@@ -97,6 +99,7 @@ struct Args {
     memo_budget: Option<u64>,
     smoke: bool,
     dump: bool,
+    dump_bytecode: bool,
     stats: bool,
     trace: bool,
     telemetry: bool,
@@ -110,15 +113,16 @@ fn usage() -> &'static str {
      modpeg lint  <grammar.mpeg>... --root <module> [--start <prod>]\n  \
      modpeg fmt   <grammar.mpeg>...\n  \
      modpeg stats <grammar.mpeg>...\n  \
-     modpeg parse <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--stats] [--trace] [--telemetry]\n               \
-     [--deadline-ms <n>] [--fuel <n>] [--max-depth <n>] [--memo-budget <bytes>]\n  \
+     modpeg parse <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--engine interp|vm]\n               \
+     [--stats] [--trace] [--telemetry] [--deadline-ms <n>] [--fuel <n>] [--max-depth <n>] [--memo-budget <bytes>]\n  \
+     modpeg compile <grammar.mpeg>... --root <module> [--start <prod>] [--dump-bytecode] [--out <file>]\n  \
      modpeg profile <grammar.mpeg>... --root <module> [--start <prod>] --input <file>\n               \
      [--format chrome|folded|prom|heatmap|heatmap-csv|json|summary] [--sample <n>] [--out <file>]\n  \
      modpeg coverage <grammar.mpeg>... --root <module> [--start <prod>] --input <file>\n  \
      modpeg gen   <grammar.mpeg>... --root <module> [--start <prod>] [--out <file.rs>]\n  \
      modpeg session-bench <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--edits <n>] [--telemetry]\n  \
-     modpeg fuzz  [--grammar calc|json|java|c|all] [--seeds <n>] [--engines opt-levels,baseline,codegen,incremental] [--smoke] [--telemetry]\n  \
-     modpeg fault [--grammar calc|json|java|c|all] [--seeds <n>] [--smoke]\n\
+     modpeg fuzz  [--grammar calc|json|java|c|all] [--seeds <n>] [--engines opt-levels,baseline,codegen,incremental,vm] [--smoke] [--telemetry]\n  \
+     modpeg fault [--grammar calc|json|java|c|all] [--seeds <n>] [--engines <list>] [--smoke]\n\
      exit codes: 0 ok, 1 check failed, 2 usage, 3 I/O, 4 resource abort, 5 internal"
 }
 
@@ -135,6 +139,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         edits: 10,
         seeds: None,
         grammar: None,
+        engine: None,
         engines: None,
         deadline_ms: None,
         fuel: None,
@@ -142,6 +147,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         memo_budget: None,
         smoke: false,
         dump: false,
+        dump_bytecode: false,
         stats: false,
         trace: false,
         telemetry: false,
@@ -169,9 +175,11 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
             "--max-depth" => args.max_depth = Some(num("--max-depth", it.next())?),
             "--memo-budget" => args.memo_budget = Some(num("--memo-budget", it.next())?),
             "--grammar" => args.grammar = Some(it.next().ok_or("--grammar needs a value")?),
+            "--engine" => args.engine = Some(it.next().ok_or("--engine needs a value")?),
             "--engines" => args.engines = Some(it.next().ok_or("--engines needs a value")?),
             "--smoke" => args.smoke = true,
             "--dump" => args.dump = true,
+            "--dump-bytecode" => args.dump_bytecode = true,
             "--stats" => args.stats = true,
             "--trace" => args.trace = true,
             "--telemetry" => args.telemetry = true,
@@ -293,16 +301,44 @@ fn cmd_stats(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Resolves `--engine` for `modpeg parse`: the interpreter (default) or
+/// the bytecode machine. The other [`EngineKind`] names are harness-side
+/// selections (sweeps and differential legs), not single parsers.
+fn parse_engine(args: &Args) -> Result<EngineKind, CliError> {
+    match args.engine.as_deref() {
+        None => Ok(EngineKind::OptLevels),
+        Some(name) => match EngineKind::from_name(name) {
+            Some(kind @ (EngineKind::OptLevels | EngineKind::Vm)) => Ok(kind),
+            Some(other) => Err(CliError::Usage(format!(
+                "engine `{other}` is a fuzz/fault harness selection; `modpeg parse` runs `interp` or `vm`"
+            ))),
+            None => Err(CliError::Usage(format!(
+                "unknown engine `{name}` (expected interp or vm)"
+            ))),
+        },
+    }
+}
+
 fn cmd_parse(args: &Args) -> Result<(), CliError> {
     let grammar = load_grammar(args)?;
+    let engine = parse_engine(args)?;
+    let engine_name = match engine {
+        EngineKind::Vm => "vm",
+        _ => "interp",
+    };
     let input_path = args
         .input
         .as_ref()
         .ok_or_else(|| CliError::Usage("--input <file> is required".into()))?;
     let input = std::fs::read_to_string(input_path)
         .map_err(|e| CliError::Io(format!("{input_path}: {e}")))?;
-    let compiled = compile(&grammar, OptConfig::all())?;
     if args.trace {
+        if engine == EngineKind::Vm {
+            return Err(CliError::Usage(
+                "--trace is interpreter-only; drop `--engine vm` (or use `modpeg compile --dump-bytecode`)".into(),
+            ));
+        }
+        let compiled = compile(&grammar, OptConfig::all())?;
         let (result, trace) = compiled.parse_with_trace(&input, 2_000);
         eprint!("{trace}");
         return match result {
@@ -319,22 +355,46 @@ fn cmd_parse(args: &Args) -> Result<(), CliError> {
         Telemetry::disabled()
     };
     let limits = governor_limits(args);
-    let outcome = if !limits.is_unlimited() {
-        let gov = limits.governor();
-        let (result, stats) = compiled.parse_governed_telemetry(&input, &gov, &telem);
-        match result {
-            Ok(tree) => Ok((tree, stats)),
-            Err(ParseFault::Syntax(e)) => Err(CliError::Failure(e.to_string())),
-            Err(ParseFault::Abort(kind)) => Err(CliError::Abort(format!(
-                "parse aborted after {} step(s): {kind}",
-                gov.steps()
-            ))),
+    let outcome = if engine == EngineKind::Vm {
+        let program =
+            modpeg_vm::VmProgram::full(&grammar).map_err(|e| CliError::Internal(e.to_string()))?;
+        if !limits.is_unlimited() {
+            let gov = limits.governor();
+            let (result, stats) = program.parse_governed_telemetry(&input, &gov, &telem);
+            match result {
+                Ok(tree) => Ok((tree, stats)),
+                Err(ParseFault::Syntax(e)) => Err(CliError::Failure(e.to_string())),
+                Err(ParseFault::Abort(kind)) => Err(CliError::Abort(format!(
+                    "parse aborted after {} step(s): {kind}",
+                    gov.steps()
+                ))),
+            }
+        } else {
+            let (result, stats) = program.parse_with_telemetry(&input, &telem);
+            match result {
+                Ok(tree) => Ok((tree, stats)),
+                Err(e) => Err(CliError::Failure(e.to_string())),
+            }
         }
     } else {
-        let (result, stats) = compiled.parse_with_telemetry(&input, &telem);
-        match result {
-            Ok(tree) => Ok((tree, stats)),
-            Err(e) => Err(CliError::Failure(e.to_string())),
+        let compiled = compile(&grammar, OptConfig::all())?;
+        if !limits.is_unlimited() {
+            let gov = limits.governor();
+            let (result, stats) = compiled.parse_governed_telemetry(&input, &gov, &telem);
+            match result {
+                Ok(tree) => Ok((tree, stats)),
+                Err(ParseFault::Syntax(e)) => Err(CliError::Failure(e.to_string())),
+                Err(ParseFault::Abort(kind)) => Err(CliError::Abort(format!(
+                    "parse aborted after {} step(s): {kind}",
+                    gov.steps()
+                ))),
+            }
+        } else {
+            let (result, stats) = compiled.parse_with_telemetry(&input, &telem);
+            match result {
+                Ok(tree) => Ok((tree, stats)),
+                Err(e) => Err(CliError::Failure(e.to_string())),
+            }
         }
     };
     if args.telemetry {
@@ -343,7 +403,43 @@ fn cmd_parse(args: &Args) -> Result<(), CliError> {
     let (tree, stats) = outcome?;
     println!("{}", tree.to_sexpr());
     if args.stats {
+        eprintln!("engine: {engine_name}");
         eprintln!("{stats}");
+    }
+    Ok(())
+}
+
+/// `modpeg compile`: assembles the grammar to `modpeg-vm` bytecode,
+/// reporting its footprint; `--dump-bytecode` emits the deterministic
+/// disassembly (to stdout or `--out`).
+fn cmd_compile(args: &Args) -> Result<(), CliError> {
+    let grammar = load_grammar(args)?;
+    let program = modpeg_vm::VmProgram::full(&grammar).map_err(|e| match e {
+        modpeg_vm::VmError::Grammar(d) => CliError::Failure(d.to_string()),
+        other => CliError::Internal(other.to_string()),
+    })?;
+    let summary = format!(
+        "bytecode: {} instructions, {} productions, {} memo slots",
+        program.op_count(),
+        program.production_count(),
+        program.memo_slot_count()
+    );
+    if args.dump_bytecode {
+        let listing = program.disassemble();
+        match &args.out {
+            Some(path) => {
+                std::fs::write(path, listing).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+                println!("{summary}");
+                println!("wrote {path}");
+            }
+            None => {
+                // Keep stdout purely the listing so dumps diff cleanly.
+                print!("{listing}");
+                eprintln!("{summary}");
+            }
+        }
+    } else {
+        println!("{summary}");
     }
     Ok(())
 }
@@ -635,6 +731,9 @@ fn cmd_fault(args: &Args) -> Result<(), CliError> {
         }
         cfg.docs = docs;
     }
+    if let Some(list) = &args.engines {
+        cfg.engines = EngineSet::from_list(list).map_err(CliError::Usage)?;
+    }
 
     let mut total_violations = 0usize;
     for id in grammars {
@@ -642,13 +741,14 @@ fn cmd_fault(args: &Args) -> Result<(), CliError> {
         let report = fault_grammar(id, &cfg).map_err(CliError::Internal)?;
         println!(
             "{:<5} {:>3} documents, {:>4} aborts injected, {:>3} degradation runs, \
-             {} violation(s) [{:.2} s]",
+             {} violation(s) [{:.2} s, engines: {}]",
             report.grammar,
             report.documents,
             report.injections,
             report.degradations,
             report.violations.len(),
             t.elapsed().as_secs_f64(),
+            cfg.engines.names().join(","),
         );
         for v in &report.violations {
             total_violations += 1;
@@ -694,6 +794,7 @@ fn main() -> ExitCode {
         "fmt" => cmd_fmt(&args),
         "stats" => cmd_stats(&args),
         "parse" => cmd_parse(&args),
+        "compile" => cmd_compile(&args),
         "profile" => cmd_profile(&args),
         "coverage" => cmd_coverage(&args),
         "gen" => cmd_gen(&args),
@@ -822,6 +923,32 @@ mod tests {
             a.format = Some(fmt.to_owned());
             assert!(render_profile(&a, &report).is_ok(), "{fmt}");
         }
+    }
+
+    #[test]
+    fn parses_engine_flag() {
+        let a = parse_args(argv("parse g.mpeg --input x --engine vm")).unwrap();
+        assert_eq!(a.engine.as_deref(), Some("vm"));
+        assert_eq!(parse_engine(&a).unwrap(), EngineKind::Vm);
+        let b = parse_args(argv("parse g.mpeg --input x")).unwrap();
+        assert_eq!(parse_engine(&b).unwrap(), EngineKind::OptLevels);
+        let mut c = parse_args(argv("parse g.mpeg --input x --engine interp")).unwrap();
+        assert_eq!(parse_engine(&c).unwrap(), EngineKind::OptLevels);
+        // Harness-only selections and unknown names are usage errors.
+        c.engine = Some("baseline".into());
+        assert_eq!(parse_engine(&c).unwrap_err().exit_code(), 2);
+        c.engine = Some("warp-drive".into());
+        assert_eq!(parse_engine(&c).unwrap_err().exit_code(), 2);
+    }
+
+    #[test]
+    fn parses_compile_flags() {
+        let a = parse_args(argv("compile g.mpeg --dump-bytecode --out calc.bc")).unwrap();
+        assert_eq!(a.command, "compile");
+        assert!(a.dump_bytecode);
+        assert_eq!(a.out.as_deref(), Some("calc.bc"));
+        let b = parse_args(argv("fault --smoke --engines vm")).unwrap();
+        assert_eq!(b.engines.as_deref(), Some("vm"));
     }
 
     #[test]

@@ -36,9 +36,10 @@ use modpeg_runtime::{
     CancelToken, ChunkMemo, Governor, ParseAbort, ParseFault, SyntaxTree, DEFAULT_MAX_DEPTH,
 };
 use modpeg_session::ParseSession;
+use modpeg_vm::VmProgram;
 use modpeg_workload::rng::StdRng;
 
-use crate::oracle::{clip, grammar_alphabet, memo_invariant_violation, random_edit};
+use crate::oracle::{clip, grammar_alphabet, memo_invariant_violation, random_edit, EngineSet};
 use crate::{fnv1a, GrammarId};
 
 /// One fault-injection campaign's knobs.
@@ -53,6 +54,11 @@ pub struct FaultConfig {
     pub doc_bytes: usize,
     /// Base RNG seed; identical configs replay identical campaigns.
     pub rng_seed: u64,
+    /// Which engines faults are injected into (the reference parse always
+    /// runs; `opt-levels` covers the interpreter's memo path, `codegen`
+    /// the generated parsers, `incremental` the session layer, `baseline`
+    /// the recognizer's depth ceiling, `vm` the bytecode machine).
+    pub engines: EngineSet,
 }
 
 impl Default for FaultConfig {
@@ -62,6 +68,7 @@ impl Default for FaultConfig {
             injections_per_doc: 5,
             doc_bytes: 220,
             rng_seed: 0xFA17,
+            engines: EngineSet::all(),
         }
     }
 }
@@ -114,6 +121,11 @@ pub fn fault_grammar(id: GrammarId, cfg: &FaultConfig) -> Result<FaultReport, St
     let incremental = Rc::new(
         CompiledGrammar::compile(&grammar, OptConfig::incremental()).map_err(|e| e.to_string())?,
     );
+    let vm = if cfg.engines.vm {
+        Some(VmProgram::from_compiled(&reference).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
     let baseline = BacktrackParser::new(&grammar);
     let alphabet = grammar_alphabet(&grammar);
     let mut rng = StdRng::seed_from_u64(cfg.rng_seed ^ fnv1a(id.name().as_bytes()));
@@ -135,6 +147,7 @@ pub fn fault_grammar(id: GrammarId, cfg: &FaultConfig) -> Result<FaultReport, St
             id,
             &reference,
             &incremental,
+            vm.as_ref(),
             &baseline,
             &alphabet,
             &doc,
@@ -153,6 +166,7 @@ fn inject_document(
     id: GrammarId,
     reference: &CompiledGrammar,
     incremental: &Rc<CompiledGrammar>,
+    vm: Option<&VmProgram>,
     baseline: &BacktrackParser<'_>,
     alphabet: &[char],
     doc: &str,
@@ -190,6 +204,9 @@ fn inject_document(
     }
 
     for fuel in fuel_points(total, cfg.injections_per_doc, rng) {
+        if !cfg.engines.opt_levels {
+            break;
+        }
         report.injections += 1;
         let tag = format!("{name}/doc{doc_no}/interp fuel {fuel}/{total}");
 
@@ -269,6 +286,9 @@ fn inject_document(
     // produce the reference tree (evicting or falling back to transient
     // parsing); a near-zero budget may abort but must stay structured.
     for budget in [probe_stats.memo_bytes / 2, 64] {
+        if !cfg.engines.opt_levels {
+            break;
+        }
         report.degradations += 1;
         let gov = Governor::new().with_memo_budget(budget.max(1));
         let (r, _, _) =
@@ -287,12 +307,100 @@ fn inject_document(
     // ------------------------------------------------------------------
     // Generated parser: fuel, depth, memo-budget, and cancellation.
     // ------------------------------------------------------------------
+    if cfg.engines.codegen {
+        inject_codegen(id, &ref_sexpr, doc, doc_no, cfg, rng, report);
+    }
+
+    // ------------------------------------------------------------------
+    // Bytecode machine: the same abort contract as the generated parser.
+    // ------------------------------------------------------------------
+    if let Some(vm) = vm {
+        inject_vm(vm, name, &ref_sexpr, doc, doc_no, cfg, rng, report);
+    }
+
+    // ------------------------------------------------------------------
+    // Session: abort mid-parse, then prove the session is still usable.
+    // ------------------------------------------------------------------
+    if cfg.engines.incremental {
+        report.injections += 1;
+        let tag = format!("{name}/doc{doc_no}/session");
+        let mut session = ParseSession::new(incremental.clone(), doc.to_owned());
+        let fuel = if total > 1 { rng.gen_range(1..total) } else { 0 };
+        match session.parse_governed(&Governor::new().with_fuel(fuel)) {
+            Err(ParseFault::Abort(ParseAbort::FuelExhausted)) => {}
+            Err(other) => report.violations.push(format!(
+                "{tag}: fuel {fuel}/{total}: expected FuelExhausted, got {other}"
+            )),
+            Ok(_) => report.violations.push(format!(
+                "{tag}: fuel {fuel}/{total}: parse completed under starvation fuel"
+            )),
+        }
+        match session.parse() {
+            Ok(t) if t.to_sexpr() == ref_sexpr => {}
+            other => report.violations.push(format!(
+                "{tag}: ungoverned reparse after abort diverged: {:?}",
+                other.map(|t| clip(&t.to_sexpr()))
+            )),
+        }
+        let (range, insert) = random_edit(session.text(), alphabet, rng);
+        session.apply_edit(range.clone(), &insert);
+        let incremental_outcome = session.parse();
+        let scratch = incremental.parse(session.text());
+        let agree = match (&incremental_outcome, &scratch) {
+            (Ok(a), Ok(b)) => a.to_sexpr() == b.to_sexpr(),
+            (Err(_), Err(_)) => true,
+            _ => false,
+        };
+        if !agree {
+            report.violations.push(format!(
+                "{tag}: edit {range:?} -> {insert:?} after abort diverged from scratch on {:?}",
+                session.text()
+            ));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Baseline: the depth ceiling fails fast and stays conservative.
+    // ------------------------------------------------------------------
+    if cfg.engines.baseline && doc.len() <= 120 {
+        report.degradations += 1;
+        let shallow = baseline.recognize_with_depth(doc, 12);
+        if !shallow.depth_exceeded && shallow.result.is_err() {
+            report.violations.push(format!(
+                "{name}/doc{doc_no}: baseline rejected a valid document at {:?} without \
+                 reporting its depth ceiling",
+                shallow.result
+            ));
+        }
+        let full = baseline.recognize_with_depth(doc, DEFAULT_MAX_DEPTH);
+        if full.depth_exceeded || full.result.is_err() {
+            report.violations.push(format!(
+                "{name}/doc{doc_no}: baseline failed a valid document under the default \
+                 ceiling (depth_exceeded: {})",
+                full.depth_exceeded
+            ));
+        }
+    }
+}
+
+/// The generated parser's abort contract: fuel, depth, memo-budget, and
+/// cancellation.
+fn inject_codegen(
+    id: GrammarId,
+    ref_sexpr: &str,
+    doc: &str,
+    doc_no: u64,
+    cfg: &FaultConfig,
+    rng: &mut StdRng,
+    report: &mut FaultReport,
+) {
+    let name = id.name();
     let probe = Governor::new();
     let (r, gen_stats) = id.codegen_parse_governed(doc, &probe);
     let total_gen = probe.steps();
-    if !matches_reference(&r, &ref_sexpr) {
+    if !matches_reference(&r, ref_sexpr) {
         report.violations.push(format!(
-            "{name}/doc{doc_no}: unlimited governed generated parse diverged: {}",
+            "{name}/doc{doc_no}: engine `codegen` unlimited governed parse diverged: {}",
             describe(&r)
         ));
         return;
@@ -317,7 +425,7 @@ fn inject_document(
     report.degradations += 1;
     let gov = Governor::new().with_max_depth(8);
     let (r, _) = id.codegen_parse_governed(doc, &gov);
-    let ok = matches_reference(&r, &ref_sexpr) || abort_kind(&r) == Some(ParseAbort::DepthExceeded);
+    let ok = matches_reference(&r, ref_sexpr) || abort_kind(&r) == Some(ParseAbort::DepthExceeded);
     if !ok {
         report.violations.push(format!(
             "{name}/doc{doc_no}: codegen depth ceiling 8: expected reference tree or \
@@ -330,8 +438,8 @@ fn inject_document(
         report.degradations += 1;
         let gov = Governor::new().with_memo_budget(budget.max(1));
         let (r, _) = id.codegen_parse_governed(doc, &gov);
-        let ok = matches_reference(&r, &ref_sexpr)
-            || abort_kind(&r) == Some(ParseAbort::MemoBudget);
+        let ok =
+            matches_reference(&r, ref_sexpr) || abort_kind(&r) == Some(ParseAbort::MemoBudget);
         if !ok {
             report.violations.push(format!(
                 "{name}/doc{doc_no}: codegen memo budget {budget}: expected reference tree or \
@@ -348,72 +456,92 @@ fn inject_document(
     let (r, _) = id.codegen_parse_governed(doc, &gov);
     if abort_kind(&r) != Some(ParseAbort::Cancelled) || gov.steps() != 0 {
         report.violations.push(format!(
-            "{name}/doc{doc_no}: pre-cancelled governor did {} step(s) and returned {}",
+            "{name}/doc{doc_no}: codegen pre-cancelled governor did {} step(s) and returned {}",
             gov.steps(),
             describe(&r)
         ));
     }
+}
 
-    // ------------------------------------------------------------------
-    // Session: abort mid-parse, then prove the session is still usable.
-    // ------------------------------------------------------------------
-    report.injections += 1;
-    let tag = format!("{name}/doc{doc_no}/session");
-    let mut session = ParseSession::new(incremental.clone(), doc.to_owned());
-    let fuel = if total > 1 { rng.gen_range(1..total) } else { 0 };
-    match session.parse_governed(&Governor::new().with_fuel(fuel)) {
-        Err(ParseFault::Abort(ParseAbort::FuelExhausted)) => {}
-        Err(other) => report.violations.push(format!(
-            "{tag}: fuel {fuel}/{total}: expected FuelExhausted, got {other}"
-        )),
-        Ok(_) => report.violations.push(format!(
-            "{tag}: fuel {fuel}/{total}: parse completed under starvation fuel"
-        )),
-    }
-    match session.parse() {
-        Ok(t) if t.to_sexpr() == ref_sexpr => {}
-        other => report.violations.push(format!(
-            "{tag}: ungoverned reparse after abort diverged: {:?}",
-            other.map(|t| clip(&t.to_sexpr()))
-        )),
-    }
-    let (range, insert) = random_edit(session.text(), alphabet, rng);
-    session.apply_edit(range.clone(), &insert);
-    let incremental_outcome = session.parse();
-    let scratch = incremental.parse(session.text());
-    let agree = match (&incremental_outcome, &scratch) {
-        (Ok(a), Ok(b)) => a.to_sexpr() == b.to_sexpr(),
-        (Err(_), Err(_)) => true,
-        _ => false,
-    };
-    if !agree {
+/// The bytecode machine's abort contract — the same checks the generated
+/// parser gets: fuel exhaustion at randomized ticks, a depth ceiling, a
+/// memo-budget ladder, and pre-cancellation.
+#[allow(clippy::too_many_arguments)] // mirrors `inject_document`, one call site
+fn inject_vm(
+    vm: &VmProgram,
+    name: &str,
+    ref_sexpr: &str,
+    doc: &str,
+    doc_no: u64,
+    cfg: &FaultConfig,
+    rng: &mut StdRng,
+    report: &mut FaultReport,
+) {
+    let probe = Governor::new();
+    let (r, vm_stats) = vm.parse_governed(doc, &probe);
+    let total_vm = probe.steps();
+    if !matches_reference(&r, ref_sexpr) {
         report.violations.push(format!(
-            "{tag}: edit {range:?} -> {insert:?} after abort diverged from scratch on {:?}",
-            session.text()
+            "{name}/doc{doc_no}: engine `vm` unlimited governed parse diverged: {}",
+            describe(&r)
+        ));
+        return;
+    }
+
+    for fuel in fuel_points(total_vm, cfg.injections_per_doc, rng) {
+        report.injections += 1;
+        let gov = Governor::new().with_fuel(fuel);
+        let (r, _) = vm.parse_governed(doc, &gov);
+        if abort_kind(&r) != Some(ParseAbort::FuelExhausted)
+            || gov.tripped() != Some(ParseAbort::FuelExhausted)
+        {
+            report.violations.push(format!(
+                "{name}/doc{doc_no}/vm fuel {fuel}/{total_vm}: expected FuelExhausted \
+                 (tripped {:?}), got {}",
+                gov.tripped(),
+                describe(&r)
+            ));
+        }
+    }
+
+    report.degradations += 1;
+    let gov = Governor::new().with_max_depth(8);
+    let (r, _) = vm.parse_governed(doc, &gov);
+    let ok = matches_reference(&r, ref_sexpr) || abort_kind(&r) == Some(ParseAbort::DepthExceeded);
+    if !ok {
+        report.violations.push(format!(
+            "{name}/doc{doc_no}: vm depth ceiling 8: expected reference tree or \
+             DepthExceeded abort, got {}",
+            describe(&r)
         ));
     }
 
-    // ------------------------------------------------------------------
-    // Baseline: the depth ceiling fails fast and stays conservative.
-    // ------------------------------------------------------------------
-    if doc.len() <= 120 {
+    for budget in [vm_stats.memo_bytes / 2, 64] {
         report.degradations += 1;
-        let shallow = baseline.recognize_with_depth(doc, 12);
-        if !shallow.depth_exceeded && shallow.result.is_err() {
+        let gov = Governor::new().with_memo_budget(budget.max(1));
+        let (r, _) = vm.parse_governed(doc, &gov);
+        let ok =
+            matches_reference(&r, ref_sexpr) || abort_kind(&r) == Some(ParseAbort::MemoBudget);
+        if !ok {
             report.violations.push(format!(
-                "{name}/doc{doc_no}: baseline rejected a valid document at {:?} without \
-                 reporting its depth ceiling",
-                shallow.result
+                "{name}/doc{doc_no}: vm memo budget {budget}: expected reference tree or \
+                 MemoBudget abort, got {}",
+                describe(&r)
             ));
         }
-        let full = baseline.recognize_with_depth(doc, DEFAULT_MAX_DEPTH);
-        if full.depth_exceeded || full.result.is_err() {
-            report.violations.push(format!(
-                "{name}/doc{doc_no}: baseline failed a valid document under the default \
-                 ceiling (depth_exceeded: {})",
-                full.depth_exceeded
-            ));
-        }
+    }
+
+    report.injections += 1;
+    let token = CancelToken::new();
+    token.cancel();
+    let gov = Governor::new().with_cancel(token);
+    let (r, _) = vm.parse_governed(doc, &gov);
+    if abort_kind(&r) != Some(ParseAbort::Cancelled) || gov.steps() != 0 {
+        report.violations.push(format!(
+            "{name}/doc{doc_no}: vm pre-cancelled governor did {} step(s) and returned {}",
+            gov.steps(),
+            describe(&r)
+        ));
     }
 }
 

@@ -30,7 +30,7 @@ pub mod shrink;
 pub use fault::{assert_fault_injection_clean, fault_grammar, FaultConfig, FaultReport};
 pub use gen::{GenConfig, Generator};
 pub use mutate::mutate;
-pub use oracle::{EngineSet, Oracle};
+pub use oracle::{EngineKind, EngineSet, Oracle};
 pub use shrink::ddmin;
 
 use modpeg_core::Grammar;
@@ -448,24 +448,26 @@ pub fn assert_edit_script_agrees(grammar: &str, input: &str, seed: u64) {
     }
 }
 
-/// Asserts that the interpreter (fully optimized configuration) and the
-/// build-time generated parser report identical per-production memo
-/// telemetry (probes and hits, hence hit-rates) for `input`.
+/// Asserts that the interpreter (fully optimized configuration), the
+/// build-time generated parser, and the bytecode machine report identical
+/// per-production memo telemetry (probes and hits, hence hit-rates) for
+/// `input`.
 ///
-/// Both engines execute the same compiled IR strategy, so any drift here
-/// means one of them gained or lost a memo touch the other didn't — a
-/// telemetry bug even when the parse trees still agree.
+/// All three engines execute the same compiled IR strategy, so any drift
+/// here means one of them gained or lost a memo touch the others didn't —
+/// a telemetry bug even when the parse trees still agree.
 ///
 /// # Panics
 ///
 /// Panics with the first differing production when the reports disagree,
-/// or when either collector dropped events (raise the cap instead of
+/// or when any collector dropped events (raise the cap instead of
 /// comparing approximations).
 pub fn assert_memo_telemetry_agrees(grammar: &str, input: &str) {
     let id = GrammarId::from_name(grammar)
         .unwrap_or_else(|| panic!("unknown grammar {grammar:?}"));
     let g = id.elaborate().expect("grammar elaborates");
     let compiled = CompiledGrammar::compile(&g, OptConfig::all()).expect("grammar compiles");
+    let vm = modpeg_vm::VmProgram::from_compiled(&compiled).expect("bytecode assembles");
     const CAP: usize = 1 << 22;
     let memo_mask = mask::MEMO_HITS | mask::MEMO_TRAFFIC;
 
@@ -473,11 +475,15 @@ pub fn assert_memo_telemetry_agrees(grammar: &str, input: &str) {
     let _ = compiled.parse_with_telemetry(input, &interp);
     let generated = Telemetry::collector(CAP).with_mask(memo_mask);
     let _ = id.codegen_parse_with_telemetry(input, &generated);
+    let machine = Telemetry::collector(CAP).with_mask(memo_mask);
+    let _ = vm.parse_with_telemetry(input, &machine);
 
     let a = MetricsRegistry::from_report(&interp.take_report());
     let b = MetricsRegistry::from_report(&generated.take_report());
+    let c = MetricsRegistry::from_report(&machine.take_report());
     assert_eq!(a.totals.dropped, 0, "interp collector overflowed");
     assert_eq!(b.totals.dropped, 0, "codegen collector overflowed");
+    assert_eq!(c.totals.dropped, 0, "vm collector overflowed");
 
     let rates = |r: &MetricsRegistry| -> Vec<(String, u64, u64)> {
         r.prods
@@ -486,10 +492,14 @@ pub fn assert_memo_telemetry_agrees(grammar: &str, input: &str) {
             .map(|p| (p.name.clone(), p.memo_probes, p.memo_hits))
             .collect()
     };
-    let (ra, rb) = (rates(&a), rates(&b));
+    let (ra, rb, rc) = (rates(&a), rates(&b), rates(&c));
     assert_eq!(
         ra, rb,
         "per-production memo telemetry diverged between interp and codegen on {input:?}"
+    );
+    assert_eq!(
+        ra, rc,
+        "per-production memo telemetry diverged between interp and vm on {input:?}"
     );
 }
 

@@ -36,9 +36,81 @@ use modpeg_core::{Expr, Grammar};
 use modpeg_interp::{CompiledGrammar, OptConfig, OPT_COUNT};
 use modpeg_runtime::{ChunkMemo, ParseError, SyntaxTree};
 use modpeg_session::ParseSession;
+use modpeg_vm::VmProgram;
 use modpeg_workload::rng::StdRng;
 
 use crate::GrammarId;
+
+/// One execution-engine family, as selectable everywhere engines are
+/// named: `modpeg parse --engine`, `modpeg fuzz --engines`,
+/// `modpeg fault --engines`, and the harness APIs. This is the single
+/// source of truth for engine names — the subcommands share it instead
+/// of re-parsing ad-hoc string lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The tree-walking interpreter, swept across every cumulative
+    /// optimization level by the oracle (`interp` is accepted as an
+    /// alias, and is what `modpeg parse` calls this engine).
+    OptLevels,
+    /// The structure-preserving backtracking recognizer.
+    Baseline,
+    /// The build-time generated parsers (named grammars only).
+    Codegen,
+    /// Incremental sessions replaying edit scripts vs full reparses.
+    Incremental,
+    /// The bytecode parsing machine (`modpeg-vm`).
+    Vm,
+}
+
+impl EngineKind {
+    /// Every engine, in reporting order.
+    pub const ALL: [EngineKind; 5] = [
+        EngineKind::OptLevels,
+        EngineKind::Baseline,
+        EngineKind::Codegen,
+        EngineKind::Incremental,
+        EngineKind::Vm,
+    ];
+
+    /// The canonical engine name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::OptLevels => "opt-levels",
+            EngineKind::Baseline => "baseline",
+            EngineKind::Codegen => "codegen",
+            EngineKind::Incremental => "incremental",
+            EngineKind::Vm => "vm",
+        }
+    }
+
+    /// Resolves an engine name (canonical, or the `interp` alias for the
+    /// interpreter).
+    pub fn from_name(name: &str) -> Option<EngineKind> {
+        match name {
+            "opt-levels" | "interp" => Some(EngineKind::OptLevels),
+            "baseline" => Some(EngineKind::Baseline),
+            "codegen" => Some(EngineKind::Codegen),
+            "incremental" => Some(EngineKind::Incremental),
+            "vm" => Some(EngineKind::Vm),
+            _ => None,
+        }
+    }
+
+    /// The canonical names, comma-separated — for error messages.
+    pub fn expected_list() -> String {
+        EngineKind::ALL
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Which engine families the oracle consults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +123,8 @@ pub struct EngineSet {
     pub codegen: bool,
     /// Incremental sessions replaying edit scripts vs full reparses.
     pub incremental: bool,
+    /// The bytecode parsing machine.
+    pub vm: bool,
     /// Inputs longer than this skip the (exponential) baseline engine.
     pub baseline_max_len: usize,
 }
@@ -69,38 +143,66 @@ impl EngineSet {
             baseline: true,
             codegen: true,
             incremental: true,
+            vm: true,
             baseline_max_len: 120,
         }
     }
 
+    /// No engines enabled (build a selection with [`EngineSet::enable`]).
+    pub fn none() -> Self {
+        EngineSet {
+            opt_levels: false,
+            baseline: false,
+            codegen: false,
+            incremental: false,
+            vm: false,
+            baseline_max_len: EngineSet::all().baseline_max_len,
+        }
+    }
+
+    /// Enables one engine family.
+    pub fn enable(&mut self, kind: EngineKind) {
+        match kind {
+            EngineKind::OptLevels => self.opt_levels = true,
+            EngineKind::Baseline => self.baseline = true,
+            EngineKind::Codegen => self.codegen = true,
+            EngineKind::Incremental => self.incremental = true,
+            EngineKind::Vm => self.vm = true,
+        }
+    }
+
+    /// Whether one engine family is enabled.
+    pub fn enabled(&self, kind: EngineKind) -> bool {
+        match kind {
+            EngineKind::OptLevels => self.opt_levels,
+            EngineKind::Baseline => self.baseline,
+            EngineKind::Codegen => self.codegen,
+            EngineKind::Incremental => self.incremental,
+            EngineKind::Vm => self.vm,
+        }
+    }
+
     /// Parses a comma-separated engine list
-    /// (`opt-levels,baseline,codegen,incremental`).
+    /// (`opt-levels,baseline,codegen,incremental,vm`; `interp` is an
+    /// alias for `opt-levels`).
     ///
     /// # Errors
     ///
     /// Returns a message naming the first unknown engine.
     pub fn from_list(list: &str) -> Result<Self, String> {
-        let mut set = EngineSet {
-            opt_levels: false,
-            baseline: false,
-            codegen: false,
-            incremental: false,
-            baseline_max_len: EngineSet::all().baseline_max_len,
-        };
+        let mut set = EngineSet::none();
         for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-            match name {
-                "opt-levels" => set.opt_levels = true,
-                "baseline" => set.baseline = true,
-                "codegen" => set.codegen = true,
-                "incremental" => set.incremental = true,
-                other => {
+            match EngineKind::from_name(name) {
+                Some(kind) => set.enable(kind),
+                None => {
                     return Err(format!(
-                        "unknown engine `{other}` (expected opt-levels, baseline, codegen, incremental)"
+                        "unknown engine `{name}` (expected {})",
+                        EngineKind::expected_list()
                     ))
                 }
             }
         }
-        if !(set.opt_levels || set.baseline || set.codegen || set.incremental) {
+        if set.names().is_empty() {
             return Err("engine list selects no engines".to_owned());
         }
         Ok(set)
@@ -108,20 +210,11 @@ impl EngineSet {
 
     /// The enabled engines, for reporting.
     pub fn names(&self) -> Vec<&'static str> {
-        let mut out = Vec::new();
-        if self.opt_levels {
-            out.push("opt-levels");
-        }
-        if self.baseline {
-            out.push("baseline");
-        }
-        if self.codegen {
-            out.push("codegen");
-        }
-        if self.incremental {
-            out.push("incremental");
-        }
-        out
+        EngineKind::ALL
+            .iter()
+            .filter(|k| self.enabled(**k))
+            .map(|k| k.name())
+            .collect()
     }
 }
 
@@ -180,6 +273,8 @@ pub struct Oracle<'g> {
     levels: Vec<(String, CompiledGrammar)>,
     incremental: Rc<CompiledGrammar>,
     baseline: BacktrackParser<'g>,
+    /// The bytecode machine, compiled at full optimization.
+    vm: Option<VmProgram>,
     /// Characters edit scripts splice in, harvested from the grammar's
     /// literals and classes.
     alphabet: Vec<char>,
@@ -219,6 +314,13 @@ impl<'g> Oracle<'g> {
             CompiledGrammar::compile(grammar, OptConfig::incremental())
                 .map_err(|e| e.to_string())?,
         );
+        let vm = if engines.vm {
+            let full =
+                CompiledGrammar::compile(grammar, OptConfig::all()).map_err(|e| e.to_string())?;
+            Some(VmProgram::from_compiled(&full).map_err(|e| e.to_string())?)
+        } else {
+            None
+        };
         Ok(Oracle {
             grammar,
             id,
@@ -226,6 +328,7 @@ impl<'g> Oracle<'g> {
             levels,
             incremental,
             baseline: BacktrackParser::new(grammar),
+            vm,
             alphabet: grammar_alphabet(grammar),
             edits_per_script: 6,
         })
@@ -250,7 +353,7 @@ impl<'g> Oracle<'g> {
             let got = Outcome::of(parser.parse(input));
             if got != reference {
                 return Some(format!(
-                    "{label} disagrees with cumulative(0): {} vs {}",
+                    "engine `opt-levels` ({label}) disagrees with `cumulative(0)`: {} vs {}",
                     got.describe(),
                     reference.describe()
                 ));
@@ -260,18 +363,18 @@ impl<'g> Oracle<'g> {
             match (self.baseline.recognize(input), &reference) {
                 (Ok(()), r) if !r.accepted() => {
                     return Some(format!(
-                        "baseline accepts but interpreter {}",
+                        "engine `baseline` accepts but `cumulative(0)` {}",
                         r.describe()
                     ));
                 }
                 (Err(off), r) if r.accepted() => {
                     return Some(format!(
-                        "baseline rejects at {off} but interpreter accepts"
+                        "engine `baseline` rejects at {off} but `cumulative(0)` accepts"
                     ));
                 }
                 (Err(off), r) if r.err_offset != Some(off) => {
                     return Some(format!(
-                        "baseline farthest failure {off} vs interpreter {:?}",
+                        "engine `baseline` farthest failure {off} vs `cumulative(0)` {:?}",
                         r.err_offset
                     ));
                 }
@@ -283,11 +386,21 @@ impl<'g> Oracle<'g> {
                 let got = Outcome::of(result);
                 if got != reference {
                     return Some(format!(
-                        "generated parser disagrees with cumulative(0): {} vs {}",
+                        "engine `codegen` disagrees with `cumulative(0)`: {} vs {}",
                         got.describe(),
                         reference.describe()
                     ));
                 }
+            }
+        }
+        if let Some(vm) = &self.vm {
+            let got = Outcome::of(vm.parse(input));
+            if got != reference {
+                return Some(format!(
+                    "engine `vm` disagrees with `cumulative(0)`: {} vs {}",
+                    got.describe(),
+                    reference.describe()
+                ));
             }
         }
         None
@@ -439,10 +552,27 @@ mod tests {
     fn engine_list_parsing() {
         let set = EngineSet::from_list("opt-levels, baseline").unwrap();
         assert!(set.opt_levels && set.baseline);
-        assert!(!set.codegen && !set.incremental);
+        assert!(!set.codegen && !set.incremental && !set.vm);
         assert_eq!(set.names(), vec!["opt-levels", "baseline"]);
-        assert!(EngineSet::from_list("warp-drive").is_err());
+        let set = EngineSet::from_list("vm").unwrap();
+        assert!(set.vm && !set.opt_levels);
+        assert_eq!(set.names(), vec!["vm"]);
+        // `interp` is an alias for the opt-level sweep.
+        let set = EngineSet::from_list("interp,vm").unwrap();
+        assert!(set.opt_levels && set.vm);
+        let err = EngineSet::from_list("warp-drive").unwrap_err();
+        assert!(err.contains("vm"), "error names every engine: {err}");
         assert!(EngineSet::from_list("").is_err());
+    }
+
+    #[test]
+    fn engine_kind_round_trips() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(EngineKind::from_name("interp"), Some(EngineKind::OptLevels));
+        assert_eq!(EngineKind::from_name("warp-drive"), None);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Bytecode-machine snapshots.
+//!
+//! Two pins per grammar family:
+//!
+//! * **Golden trees** — the VM must reproduce the exact trees committed
+//!   under `tests/golden/` (`json.sexpr`, `java.sexpr`, `c.sexpr`), the
+//!   same snapshots the generated parser and the interpreter are held to
+//!   in `golden_trees.rs`. Any tree drift in compilation or dispatch
+//!   shows up as a readable diff.
+//! * **Disassembly** — the calc grammar's full bytecode listing is
+//!   committed as `tests/golden/calc.bytecode`. Instruction-encoding or
+//!   superinstruction-selection changes become reviewable diffs instead
+//!   of silent behavior shifts.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! MODPEG_BLESS=1 cargo test -p modpeg-conformance --test vm_golden
+//! ```
+
+use modpeg_conformance::GrammarId;
+use modpeg_vm::VmProgram;
+
+fn golden_path(file: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(file)
+}
+
+fn check_against_golden(name: &str, got: &str, file: &str) {
+    let path = golden_path(file);
+    if std::env::var_os("MODPEG_BLESS").is_some() {
+        std::fs::write(&path, format!("{}\n", got.trim_end())).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with MODPEG_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got.trim_end(),
+        expected.trim_end(),
+        "{name} diverged from {}; if intentional, re-bless with MODPEG_BLESS=1",
+        path.display()
+    );
+}
+
+fn check_vm_tree(id: GrammarId, input: &str, golden_file: &str) {
+    let grammar = id.elaborate().expect("grammar elaborates");
+    let program = VmProgram::full(&grammar).expect("bytecode assembles");
+    let tree = program
+        .parse(input)
+        .unwrap_or_else(|e| panic!("{} sample must parse via vm: {e}", id.name()))
+        .to_sexpr();
+    // Compare against the SAME golden files the other engines pin — do
+    // not bless from here; `golden_trees.rs` owns these snapshots.
+    let path = golden_path(golden_file);
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); bless via golden_trees.rs first",
+            path.display()
+        )
+    });
+    assert_eq!(
+        tree,
+        expected.trim_end(),
+        "vm tree for {} diverged from the cross-engine snapshot {}",
+        id.name(),
+        path.display()
+    );
+}
+
+#[test]
+fn vm_golden_tree_json() {
+    check_vm_tree(
+        GrammarId::Json,
+        &modpeg_workload::json_document(7, 160),
+        "json.sexpr",
+    );
+}
+
+#[test]
+fn vm_golden_tree_java() {
+    check_vm_tree(
+        GrammarId::Java,
+        &modpeg_workload::java_program(7, 320),
+        "java.sexpr",
+    );
+}
+
+#[test]
+fn vm_golden_tree_c() {
+    check_vm_tree(GrammarId::C, &modpeg_workload::c_program(7, 320), "c.sexpr");
+}
+
+#[test]
+fn calc_bytecode_disassembly_is_pinned() {
+    let grammar = GrammarId::Calc.elaborate().expect("grammar elaborates");
+    let program = VmProgram::full(&grammar).expect("bytecode assembles");
+    check_against_golden(
+        "calc bytecode disassembly",
+        &program.disassemble(),
+        "calc.bytecode",
+    );
+}

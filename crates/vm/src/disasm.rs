@@ -1,0 +1,158 @@
+//! Deterministic textual disassembly of an assembled program.
+//!
+//! The format is stable for a given grammar and configuration (no
+//! addresses beyond instruction indices, no hashing, no iteration over
+//! unordered containers), so the conformance suite pins it as a golden
+//! file: any instruction-encoding change becomes a reviewable diff.
+
+use std::fmt::Write as _;
+
+use crate::ops::Op;
+use crate::VmProgram;
+
+pub(crate) fn disassemble(p: &VmProgram) -> String {
+    let chunk = p.chunk();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "; modpeg-vm bytecode · {} productions · {} instructions · {} memo slots",
+        chunk.prods.len(),
+        chunk.ops.len(),
+        p.memo_slot_count(),
+    );
+    let _ = writeln!(
+        out,
+        "; pools: {} literals · {} classes · {} kinds · {} first sets",
+        chunk.lits.len(),
+        chunk.classes.len(),
+        chunk.kinds.len(),
+        chunk.firsts.len(),
+    );
+    out.push('\n');
+
+    for (i, l) in chunk.lits.iter().enumerate() {
+        let _ = writeln!(out, "lit[{i}]   = {}", l.desc);
+    }
+    for (i, c) in chunk.classes.iter().enumerate() {
+        let _ = writeln!(out, "class[{i}] = {}", c.desc);
+    }
+    for (i, k) in chunk.kinds.iter().enumerate() {
+        let _ = writeln!(out, "kind[{i}]  = {}", k.as_str());
+    }
+    for (i, f) in chunk.firsts.iter().enumerate() {
+        let _ = writeln!(out, "first[{i}] = {}", f.desc);
+    }
+
+    // Map each production entry pc to its name for section headers.
+    let mut entries: Vec<(u32, &str)> = chunk
+        .prods
+        .iter()
+        .map(|pi| (pi.entry, pi.name.as_str()))
+        .collect();
+    entries.sort_unstable();
+    let mut next_entry = 0usize;
+
+    out.push('\n');
+    let _ = writeln!(out, "; -- bootstrap --");
+    for (pc, op) in chunk.ops.iter().enumerate() {
+        let pc = pc as u32;
+        while next_entry < entries.len() && entries[next_entry].0 == pc {
+            out.push('\n');
+            let _ = writeln!(out, "; -- {} (entry {pc:04}) --", entries[next_entry].1);
+            next_entry += 1;
+        }
+        let _ = writeln!(out, "{pc:04}  {}", render(p, *op));
+    }
+    out
+}
+
+fn prod_name(p: &VmProgram, prod: u32) -> &str {
+    &p.chunk().prods[prod as usize].name
+}
+
+fn render(p: &VmProgram, op: Op) -> String {
+    match op {
+        Op::Jump(t) => format!("jump -> {t:04}"),
+        Op::Choice(t) => format!("choice -> {t:04}"),
+        Op::Commit(t) => format!("commit -> {t:04}"),
+        Op::BackCommit(t) => format!("backcommit -> {t:04}"),
+        Op::FailTwice => "failtwice".into(),
+        Op::Fail => "fail".into(),
+        Op::Catch(t) => format!("catch -> {t:04}"),
+        Op::LoopCommitNZ(t) => format!("loopcommitnz -> {t:04}"),
+        Op::GuardTick => "guardtick".into(),
+        Op::Halt => "halt".into(),
+        Op::Call { prod, target, push } => format!(
+            "call {}{} -> {target:04}",
+            prod_name(p, prod),
+            if push { " push" } else { "" },
+        ),
+        Op::MemoCall {
+            prod,
+            target,
+            slot,
+            push,
+            epoch_check,
+        } => format!(
+            "memocall {} slot={slot}{}{} -> {target:04}",
+            prod_name(p, prod),
+            if push { " push" } else { "" },
+            if epoch_check { " epoch" } else { "" },
+        ),
+        Op::Ret => "ret".into(),
+        Op::RetFail => "retfail".into(),
+        Op::Any => "any".into(),
+        Op::Lit(i) => format!("lit {i} ; {}", p.lit(i).desc),
+        Op::LitBytes(i) => format!("litbytes {i} ; {}", p.lit(i).desc),
+        Op::Class(i) => format!("class {i} ; {}", p.class(i).desc),
+        Op::ClassStar(i) => format!("classstar {i} ; {}", p.class(i).desc),
+        Op::ClassPlus(i) => format!("classplus {i} ; {}", p.class(i).desc),
+        Op::NotClass(i) => format!("notclass {i} ; {}", p.class(i).desc),
+        Op::NotLit(i) => format!("notlit {i} ; {}", p.lit(i).desc),
+        Op::NotAny => "notany".into(),
+        Op::AndClass(i) => format!("andclass {i} ; {}", p.class(i).desc),
+        Op::DispatchSkip { first, target } => format!("dispatchskip first[{first}] -> {target:04}"),
+        Op::AltBacktrack(t) => format!("altbacktrack -> {t:04}"),
+        Op::ChoiceBacktrack(t) => format!("choicebacktrack -> {t:04}"),
+        Op::MarkHere => "markhere".into(),
+        Op::NormalizeOpt => "normalizeopt".into(),
+        Op::AbsentOpt { push_absent } => {
+            format!("absentopt{}", if push_absent { " push" } else { "" })
+        }
+        Op::StarFinish { make } => format!("starfinish{}", if make { " make" } else { "" }),
+        Op::PlusFinish { collect } => {
+            format!("plusfinish{}", if collect { " collect" } else { "" })
+        }
+        Op::CaptureFinish { push } => format!("capturefinish{}", if push { " push" } else { "" }),
+        Op::DropMark => "dropmark".into(),
+        Op::PushAcc => "pushacc".into(),
+        Op::PopAcc => "popacc".into(),
+        Op::FoldNode { kind, with_span } => format!(
+            "foldnode {} ; {}{}",
+            kind,
+            p.kind(kind).as_str(),
+            if with_span { " +span" } else { "" },
+        ),
+        Op::MakeNodeFinish {
+            kind,
+            passthrough,
+            with_span,
+        } => format!(
+            "makenode {} ; {}{}{}",
+            kind,
+            p.kind(kind).as_str(),
+            if passthrough { " passthrough" } else { "" },
+            if with_span { " +span" } else { "" },
+        ),
+        Op::MakeTextFinish { take_inner } => {
+            format!("maketext{}", if take_inner { " inner" } else { "" })
+        }
+        Op::UnitFinish => "unit".into(),
+        Op::IncSuppress => "incsuppress".into(),
+        Op::StateDefine { keep } => format!("statedefine{}", if keep { " keep" } else { "" }),
+        Op::StateIsDef { keep } => format!("stateisdef{}", if keep { " keep" } else { "" }),
+        Op::StateIsNotDef { keep } => format!("stateisnotdef{}", if keep { " keep" } else { "" }),
+        Op::ScopePush => "scopepush".into(),
+        Op::ScopePopCommit => "scopepopcommit".into(),
+    }
+}

@@ -1,0 +1,302 @@
+//! # modpeg-vm
+//!
+//! The bytecode parsing machine: modpeg's third execution engine,
+//! between the tree-walking interpreter (`modpeg-interp`) and generated
+//! Rust parsers (`modpeg-codegen`).
+//!
+//! Following Nez's parsing machine and LPeg's instruction idiom, a
+//! grammar is compiled — *through* the interpreter's elaborated IR, so
+//! every optimization decision is shared — into a flat instruction
+//! stream plus constant pools (literals, character-class bitsets, node
+//! kinds, terminal-dispatch first sets). A register-light dispatch loop
+//! then executes it with explicit backtrack/call/value stacks,
+//! memoized-call instructions over the chunked packrat table, and
+//! superinstructions for the hottest PEG shapes (`[c]*`, `[c]+`, `![c]`,
+//! `!"lit"`, `!.`, `&[c]`, whole-literal matching, memoized nonterminal
+//! application).
+//!
+//! The machine is observationally identical to the other engines —
+//! same trees, same accept/reject verdicts, same farthest-failure
+//! offsets, same per-production memo traffic — and supports the same
+//! governed-parsing entry points (deadlines, fuel, depth and memo-byte
+//! budgets, cancellation) with the same deterministic abort semantics.
+//!
+//! ## Example
+//!
+//! ```
+//! use modpeg_core::{CharClass, Expr, GrammarBuilder, ProdKind};
+//! use modpeg_vm::VmProgram;
+//!
+//! let mut b = GrammarBuilder::new("m");
+//! b.production("Word", ProdKind::Text, vec![(None, Expr::Capture(Box::new(
+//!     Expr::Plus(Box::new(Expr::Class(CharClass::from_ranges(
+//!         vec![('a', 'z')], false)))))))]);
+//! let grammar = b.build("Word")?;
+//! let program = VmProgram::full(&grammar)?;
+//! let tree = program.parse("hello").expect("matches");
+//! assert_eq!(tree.to_sexpr(), "\"hello\"");
+//! assert!(program.parse("hello!").is_err());
+//! # Ok::<(), modpeg_vm::VmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod compile;
+mod disasm;
+mod machine;
+mod ops;
+
+use modpeg_core::{Diagnostics, Grammar};
+use modpeg_interp::{CompiledGrammar, OptConfig};
+use modpeg_runtime::{
+    Failures, Governor, Input, NodeKind, ParseError, ParseFault, Stats, SyntaxTree,
+};
+use modpeg_telemetry::Telemetry;
+
+use crate::machine::Machine;
+use crate::ops::{ClassConst, FirstConst, LitConst, Op};
+
+/// Why a grammar could not be compiled to bytecode.
+#[derive(Debug)]
+pub enum VmError {
+    /// The grammar itself failed to compile (same diagnostics the
+    /// interpreter would report).
+    Grammar(Diagnostics),
+    /// The optimization configuration selects an execution strategy the
+    /// bytecode does not encode.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::Grammar(d) => write!(f, "{d}"),
+            VmError::Unsupported(why) => write!(f, "unsupported configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<Diagnostics> for VmError {
+    fn from(d: Diagnostics) -> Self {
+        VmError::Grammar(d)
+    }
+}
+
+/// A grammar compiled to bytecode: the instruction stream, its constant
+/// pools, and the optimization configuration it was compiled under.
+pub struct VmProgram {
+    chunk: compile::Chunk,
+    cfg: OptConfig,
+    n_slots: u32,
+}
+
+impl VmProgram {
+    /// Compiles `grammar` under `cfg`.
+    ///
+    /// The bytecode encodes the *optimized* repetition and left-recursion
+    /// strategies only: `cfg` must enable `iterative-repetition` and
+    /// `left-recursion` (both [`OptConfig::all`] and
+    /// [`OptConfig::incremental`] do). Every other flag is honored
+    /// faithfully — memoization and transient sets, terminal dispatch,
+    /// string matching, value elision, chunked memoization, error
+    /// recording, location elision.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Grammar`] when the grammar itself does not compile,
+    /// [`VmError::Unsupported`] for configurations whose execution
+    /// strategy is interpreter-only (see above).
+    pub fn compile(grammar: &Grammar, cfg: OptConfig) -> Result<VmProgram, VmError> {
+        let cg = CompiledGrammar::compile(grammar, cfg)?;
+        VmProgram::from_compiled(&cg)
+    }
+
+    /// Compiles `grammar` fully optimized ([`OptConfig::all`]).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Grammar`] when the grammar does not compile.
+    pub fn full(grammar: &Grammar) -> Result<VmProgram, VmError> {
+        VmProgram::compile(grammar, OptConfig::all())
+    }
+
+    /// Assembles bytecode from an already-compiled grammar, sharing its
+    /// elaborated IR (and therefore every optimization decision).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Unsupported`] for interpreter-only configurations (see
+    /// [`VmProgram::compile`]).
+    pub fn from_compiled(cg: &CompiledGrammar) -> Result<VmProgram, VmError> {
+        let chunk = compile::assemble(cg)?;
+        Ok(VmProgram {
+            chunk,
+            cfg: cg.config(),
+            n_slots: cg.memo_slot_count(),
+        })
+    }
+
+    /// The optimization configuration the program was compiled under.
+    pub fn config(&self) -> OptConfig {
+        self.cfg
+    }
+
+    /// Number of instructions in the program (bootstrap included).
+    pub fn op_count(&self) -> usize {
+        self.chunk.ops.len()
+    }
+
+    /// Number of productions.
+    pub fn production_count(&self) -> usize {
+        self.chunk.prods.len()
+    }
+
+    /// Number of memo slots (columns) the machine's packrat table has.
+    pub fn memo_slot_count(&self) -> u32 {
+        self.n_slots
+    }
+
+    /// A deterministic textual disassembly of the whole program:
+    /// constant pools first, then each production's instruction range.
+    /// Stable across runs for a given grammar and configuration, so
+    /// instruction-encoding changes show up as reviewable diffs.
+    pub fn disassemble(&self) -> String {
+        disasm::disassemble(self)
+    }
+
+    // ----- parsing -----
+
+    /// Parses `text`, requiring the root production to consume all of it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the farthest failure when the
+    /// input does not match (or does not match completely).
+    pub fn parse(&self, text: &str) -> Result<SyntaxTree, ParseError> {
+        self.parse_with_stats(text).0
+    }
+
+    /// Like [`VmProgram::parse`], also returning the run's [`Stats`].
+    pub fn parse_with_stats(&self, text: &str) -> (Result<SyntaxTree, ParseError>, Stats) {
+        self.parse_with_telemetry(text, &Telemetry::disabled())
+    }
+
+    /// Like [`VmProgram::parse_with_stats`], with telemetry hooks
+    /// reporting to `telem` (production spans, memo traffic, backtracks)
+    /// exactly as the interpreter's equivalent entry point does.
+    pub fn parse_with_telemetry(
+        &self,
+        text: &str,
+        telem: &Telemetry,
+    ) -> (Result<SyntaxTree, ParseError>, Stats) {
+        if text.len() > u32::MAX as usize {
+            let input = Input::new("");
+            let mut failures = Failures::new();
+            failures.note(0, "input smaller than 4 GiB");
+            return (Err(failures.to_error(&input)), Stats::default());
+        }
+        let mut m = Machine::new(self, text);
+        m.install_telemetry(telem);
+        let result = m.run();
+        let outcome = match result {
+            Ok((end, value)) if end == m.input.len() => Ok(SyntaxTree::new(text, value)),
+            Ok((end, _)) => {
+                m.note(end, "end of input");
+                Err(m.failures.to_error(&m.input))
+            }
+            Err(_) => Err(m.failures.to_error(&m.input)),
+        };
+        m.finish_stats();
+        (outcome, m.stats)
+    }
+
+    /// Parses under `gov`'s resource limits (deadline, fuel, recursion
+    /// depth, memo-byte budget, cancellation), with the same
+    /// deterministic abort semantics as the interpreter's governed entry
+    /// points.
+    pub fn parse_governed(
+        &self,
+        text: &str,
+        gov: &Governor,
+    ) -> (Result<SyntaxTree, ParseFault>, Stats) {
+        self.parse_governed_telemetry(text, gov, &Telemetry::disabled())
+    }
+
+    /// [`VmProgram::parse_governed`] with telemetry hooks reporting to
+    /// `telem` (including governor tick totals and abort events).
+    pub fn parse_governed_telemetry(
+        &self,
+        text: &str,
+        gov: &Governor,
+        telem: &Telemetry,
+    ) -> (Result<SyntaxTree, ParseFault>, Stats) {
+        if text.len() > u32::MAX as usize {
+            let input = Input::new("");
+            let mut failures = Failures::new();
+            failures.note(0, "input smaller than 4 GiB");
+            return (
+                Err(ParseFault::Syntax(failures.to_error(&input))),
+                Stats::default(),
+            );
+        }
+        // A pre-cancelled or pre-expired governor aborts before any work.
+        if let Err(kind) = gov.poll() {
+            return (Err(ParseFault::Abort(kind)), Stats::default());
+        }
+        let mut m = Machine::new(self, text);
+        m.install_governor(gov);
+        m.install_telemetry(telem);
+        let result = m.run();
+        let outcome = if let Some(kind) = m.aborted {
+            // The abort overrides the nominal outcome: once a run aborts,
+            // the unwinding value is untrustworthy (a `!p` on the unwind
+            // path converts the abort-induced failure into a success it
+            // never earned).
+            Err(ParseFault::Abort(kind))
+        } else {
+            match result {
+                Ok((end, value)) if end == m.input.len() => Ok(SyntaxTree::new(text, value)),
+                Ok((end, _)) => {
+                    m.note(end, "end of input");
+                    Err(ParseFault::Syntax(m.failures.to_error(&m.input)))
+                }
+                Err(_) => Err(ParseFault::Syntax(m.failures.to_error(&m.input))),
+            }
+        };
+        m.finish_governed(gov);
+        m.finish_stats();
+        (outcome, m.stats)
+    }
+
+    // ----- accessors for the machine and disassembler -----
+
+    pub(crate) fn op_at(&self, pc: u32) -> Op {
+        self.chunk.ops[pc as usize]
+    }
+
+    pub(crate) fn lit(&self, i: u32) -> &LitConst {
+        &self.chunk.lits[i as usize]
+    }
+
+    pub(crate) fn class(&self, i: u32) -> &ClassConst {
+        &self.chunk.classes[i as usize]
+    }
+
+    pub(crate) fn kind(&self, i: u32) -> &NodeKind {
+        &self.chunk.kinds[i as usize]
+    }
+
+    pub(crate) fn first(&self, i: u32) -> &FirstConst {
+        &self.chunk.firsts[i as usize]
+    }
+
+    pub(crate) fn production_names(&self) -> Vec<String> {
+        self.chunk.prods.iter().map(|p| p.name.clone()).collect()
+    }
+
+    pub(crate) fn chunk(&self) -> &compile::Chunk {
+        &self.chunk
+    }
+}

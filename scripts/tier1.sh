@@ -26,6 +26,9 @@ sh scripts/fuzz-smoke.sh
 echo "== tier-1: fault-injection smoke =="
 sh scripts/fault-smoke.sh
 
+echo "== tier-1: bytecode-machine smoke =="
+sh scripts/vm-smoke.sh
+
 echo "== tier-1: telemetry/profiling smoke =="
 sh scripts/profile-smoke.sh
 

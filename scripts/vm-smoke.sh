@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Bytecode-machine smoke run (~5 s budget).
+#
+# Three checks:
+#   1. `modpeg fuzz --engines vm --smoke` — the VM agrees with the
+#      reference interpreter on every smoke input of all four grammars;
+#   2. `modpeg fault --engines vm --smoke` — governed VM runs uphold the
+#      abort contract (fuel, depth, memo budget, cancellation);
+#   3. `modpeg compile --dump-bytecode` round-trip — two independent
+#      compiles of the calc grammar disassemble byte-identically, and the
+#      listing matches the committed golden file.
+#
+# Usage: scripts/vm-smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+MODPEG=target/release/modpeg
+if [ ! -x "$MODPEG" ]; then
+    echo "== vm-smoke: building modpeg =="
+    cargo build --release -p modpeg-cli
+fi
+
+echo "== vm-smoke: modpeg fuzz --engines vm --smoke =="
+"$MODPEG" fuzz --engines vm --smoke
+
+echo "== vm-smoke: modpeg fault --engines vm --smoke =="
+"$MODPEG" fault --engines vm --smoke
+
+echo "== vm-smoke: bytecode dump round-trip =="
+TMPDIR="${TMPDIR:-/tmp}"
+A="$TMPDIR/modpeg-vm-smoke-a.$$"
+B="$TMPDIR/modpeg-vm-smoke-b.$$"
+trap 'rm -f "$A" "$B"' EXIT
+"$MODPEG" compile crates/grammars/grammars/calc.mpeg --dump-bytecode --out "$A" >/dev/null
+"$MODPEG" compile crates/grammars/grammars/calc.mpeg --dump-bytecode --out "$B" >/dev/null
+cmp "$A" "$B" || { echo "vm-smoke: disassembly is nondeterministic"; exit 1; }
+# The committed golden ends with one newline; the dump has none extra.
+if ! diff -u crates/conformance/tests/golden/calc.bytecode "$A" >/dev/null 2>&1; then
+    diff -u crates/conformance/tests/golden/calc.bytecode "$A" || true
+    echo "vm-smoke: dump differs from tests/golden/calc.bytecode (re-bless via vm_golden)"
+    exit 1
+fi
+
+echo "== vm-smoke: OK =="
