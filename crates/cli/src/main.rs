@@ -4,7 +4,7 @@
 //! modpeg check  <grammar.mpeg>... --root <module> [--start <prod>] [--dump]
 //! modpeg stats  <grammar.mpeg>...
 //! modpeg parse  <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--engine interp|vm]
-//!               [--stats] [--telemetry] [--deadline-ms <n>] [--fuel <n>] [--max-depth <n>] [--memo-budget <bytes>]
+//!               [--events] [--stats] [--telemetry] [--deadline-ms <n>] [--fuel <n>] [--max-depth <n>] [--memo-budget <bytes>]
 //! modpeg compile <grammar.mpeg>... --root <module> [--start <prod>] [--dump-bytecode] [--out <file>]
 //! modpeg profile <grammar.mpeg>... --root <module> [--start <prod>] --input <file>
 //!               [--format chrome|folded|prom|heatmap|heatmap-csv|json|summary] [--sample <n>] [--out <file>]
@@ -98,6 +98,7 @@ struct Args {
     max_depth: Option<u32>,
     memo_budget: Option<u64>,
     smoke: bool,
+    events: bool,
     dump: bool,
     dump_bytecode: bool,
     stats: bool,
@@ -114,7 +115,7 @@ fn usage() -> &'static str {
      modpeg fmt   <grammar.mpeg>...\n  \
      modpeg stats <grammar.mpeg>...\n  \
      modpeg parse <grammar.mpeg>... --root <module> [--start <prod>] --input <file> [--engine interp|vm]\n               \
-     [--stats] [--trace] [--telemetry] [--deadline-ms <n>] [--fuel <n>] [--max-depth <n>] [--memo-budget <bytes>]\n  \
+     [--events] [--stats] [--trace] [--telemetry] [--deadline-ms <n>] [--fuel <n>] [--max-depth <n>] [--memo-budget <bytes>]\n  \
      modpeg compile <grammar.mpeg>... --root <module> [--start <prod>] [--dump-bytecode] [--out <file>]\n  \
      modpeg profile <grammar.mpeg>... --root <module> [--start <prod>] --input <file>\n               \
      [--format chrome|folded|prom|heatmap|heatmap-csv|json|summary] [--sample <n>] [--out <file>]\n  \
@@ -146,6 +147,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
         max_depth: None,
         memo_budget: None,
         smoke: false,
+        events: false,
         dump: false,
         dump_bytecode: false,
         stats: false,
@@ -178,6 +180,7 @@ fn parse_args(argv: Vec<String>) -> Result<Args, String> {
             "--engine" => args.engine = Some(it.next().ok_or("--engine needs a value")?),
             "--engines" => args.engines = Some(it.next().ok_or("--engines needs a value")?),
             "--smoke" => args.smoke = true,
+            "--events" => args.events = true,
             "--dump" => args.dump = true,
             "--dump-bytecode" => args.dump_bytecode = true,
             "--stats" => args.stats = true,
@@ -348,6 +351,39 @@ fn cmd_parse(args: &Args) -> Result<(), CliError> {
             }
             Err(e) => Err(CliError::Failure(e.to_string())),
         };
+    }
+    if args.events {
+        // SAX mode: stream events into a counting sink, build no tree.
+        if !governor_limits(args).is_unlimited() {
+            return Err(CliError::Usage(
+                "--events runs ungoverned; drop the governor flags".into(),
+            ));
+        }
+        let mut counts = modpeg_runtime::EventCounts::default();
+        let t = Instant::now();
+        if engine == EngineKind::Vm {
+            let program = modpeg_vm::VmProgram::full(&grammar)
+                .map_err(|e| CliError::Internal(e.to_string()))?;
+            program
+                .parse_events(&input, &mut counts)
+                .map_err(|e| CliError::Failure(e.to_string()))?;
+        } else {
+            let compiled = compile(&grammar, OptConfig::all())?;
+            compiled
+                .parse_events(&input, &mut counts)
+                .map_err(|e| CliError::Failure(e.to_string()))?;
+        }
+        let elapsed = t.elapsed();
+        println!(
+            "events: {} node(s), {} list(s), {} text leaf(s), {} unit(s), {} absent(s), max depth {}",
+            counts.nodes, counts.lists, counts.texts, counts.units, counts.absents, counts.max_depth
+        );
+        println!(
+            "engine: {engine_name}, {} bytes, no tree built, {:.3} ms",
+            input.len(),
+            elapsed.as_secs_f64() * 1e3
+        );
+        return Ok(());
     }
     let telem = if args.telemetry {
         Telemetry::collector(TELEMETRY_CAP).with_mask(mask::ALL)
@@ -686,12 +722,13 @@ fn cmd_fuzz(args: &Args) -> Result<(), CliError> {
         let report = fuzz_grammar(id, &cfg).map_err(CliError::Internal)?;
         println!(
             "{:<5} {:>6} inputs ({} accepted, {} rejected), {} edit scripts, \
-             coverage {:>5.1}%, {} divergence(s) [{:.2} s, engines: {}]",
+             {} event round-trips, coverage {:>5.1}%, {} divergence(s) [{:.2} s, engines: {}]",
             report.grammar,
             report.inputs_tested,
             report.accepted,
             report.rejected,
             report.edit_scripts_replayed,
+            report.event_checks,
             report.coverage_ratio * 100.0,
             report.divergences.len(),
             t.elapsed().as_secs_f64(),
@@ -889,6 +926,8 @@ mod tests {
         assert_eq!(a.engines.as_deref(), Some("opt-levels,codegen"));
         let b = parse_args(argv("fuzz --smoke")).unwrap();
         assert!(b.smoke && b.seeds.is_none());
+        let c = parse_args(argv("parse g.mpeg --input x --events")).unwrap();
+        assert!(c.events && !c.stats);
         // `fault` is also file-less; every other command still requires
         // grammar files.
         assert!(parse_args(argv("fault --smoke")).is_ok());

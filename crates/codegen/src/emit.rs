@@ -610,6 +610,9 @@ pub struct Parser<'i> {{
     failures: Failures,
     stats: Stats,
     suppress: u32,
+    /// Whether semantic values are built in the memo's arena (default)
+    /// or as individually heap-allocated trees (the legacy entry points).
+    use_arena: bool,
     kinds: Vec<NodeKind>,
     gov: Option<&'i Governor>,
     aborted: Option<ParseAbort>,
@@ -633,6 +636,7 @@ impl<'i> Parser<'i> {{
             failures: Failures::new(),
             stats: Stats::default(),
             suppress: 0,
+            use_arena: true,
             kinds: K.iter().map(NodeKind::new).collect(),
             gov: None,
             aborted: None,
@@ -748,9 +752,14 @@ impl<'i> Parser<'i> {{
 
     fn make_node(&mut self, kind: usize, children: Vec<Value>, span: Option<Span>) -> Value {{
         self.stats.nodes_built += 1;
+        let k = self.kinds[kind].clone();
+        if self.use_arena {{
+            self.stats.value_bytes += (modpeg_runtime::Arena::NODE_BYTES
+                + children.len() * std::mem::size_of::<Value>()) as u64;
+            return Value::ArenaNode(self.memo.arena_mut().alloc_node(k, children, span));
+        }}
         self.stats.value_bytes += (std::mem::size_of::<modpeg_runtime::Node>()
             + children.capacity() * std::mem::size_of::<Value>()) as u64;
-        let k = self.kinds[kind].clone();
         match span {{
             Some(s) => Value::Node(std::rc::Rc::new(modpeg_runtime::Node::with_span(k, children, s))),
             None => Value::Node(std::rc::Rc::new(modpeg_runtime::Node::new(k, children))),
@@ -758,6 +767,29 @@ impl<'i> Parser<'i> {{
     }}
 
     fn make_list(&mut self, items: Vec<Value>) -> Value {{
+        if self.use_arena {{
+            let items = if items
+                .iter()
+                .any(|v| matches!(v, Value::List(_) | Value::ArenaList(_)))
+            {{
+                let arena = self.memo.arena();
+                let mut flat = Vec::with_capacity(items.len());
+                for v in items {{
+                    match v {{
+                        Value::List(l) => flat.extend(l.iter().cloned()),
+                        Value::ArenaList(r) => flat.extend(arena.children(r).iter().cloned()),
+                        other => flat.push(other),
+                    }}
+                }}
+                flat
+            }} else {{
+                items
+            }};
+            self.stats.lists_built += 1;
+            self.stats.value_bytes += (modpeg_runtime::Arena::NODE_BYTES
+                + items.len() * std::mem::size_of::<Value>()) as u64;
+            return Value::ArenaList(self.memo.arena_mut().alloc_list(items));
+        }}
         let items = if items.iter().any(|v| matches!(v, Value::List(_))) {{
             let mut flat = Vec::with_capacity(items.len());
             for v in items {{
@@ -774,6 +806,16 @@ impl<'i> Parser<'i> {{
         self.stats.value_bytes += (std::mem::size_of::<Vec<Value>>()
             + items.capacity() * std::mem::size_of::<Value>()) as u64;
         Value::list(items)
+    }}
+
+    /// Detaches `value` from the parser's arena before it escapes into a
+    /// [`SyntaxTree`]. Legacy trees pass through as-is.
+    fn materialize(&self, value: Value) -> Value {{
+        if self.use_arena {{
+            self.memo.arena().copy_out(&value)
+        }} else {{
+            value
+        }}
     }}
 
     fn normalize_opt(&mut self, o: Out) -> Out {{
@@ -833,7 +875,9 @@ pub fn parse_with_telemetry(
     parser.install_telemetry(telem);
     let r = parser.p{root}(0);
     let outcome = match r {{
-        Ok((end, value)) if end == parser.input.len() => Ok(SyntaxTree::new(text, value)),
+        Ok((end, value)) if end == parser.input.len() => {{
+            Ok(SyntaxTree::new(text, parser.materialize(value)))
+        }}
         Ok((end, _)) => {{
             parser.note(end, "end of input");
             Err(parser.failures.to_error(&parser.input))
@@ -842,6 +886,66 @@ pub fn parse_with_telemetry(
     }};
     parser.stats.memo_bytes = parser.memo.retained_bytes();
     (outcome, parser.stats)
+}}
+
+/// Like [`parse`], but building legacy heap-allocated values instead of
+/// arena-backed ones. Produces structurally identical trees — the entry
+/// exists for the equivalence tests and the heap experiments.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the farthest failure.
+pub fn parse_legacy(text: &str) -> Result<SyntaxTree, ParseError> {{
+    if text.len() > u32::MAX as usize {{
+        let input = Input::new("");
+        let mut failures = Failures::new();
+        failures.note(0, "input smaller than 4 GiB");
+        return Err(failures.to_error(&input));
+    }}
+    let mut parser = Parser::new(text);
+    parser.use_arena = false;
+    let r = parser.p{root}(0);
+    match r {{
+        Ok((end, value)) if end == parser.input.len() => Ok(SyntaxTree::new(text, value)),
+        Ok((end, _)) => {{
+            parser.note(end, "end of input");
+            Err(parser.failures.to_error(&parser.input))
+        }}
+        Err(_) => Err(parser.failures.to_error(&parser.input)),
+    }}
+}}
+
+/// Parses `text` in SAX event mode: on a full match the semantic tree is
+/// streamed to `sink` as [`modpeg_runtime::ParseEvent`]s straight from the
+/// parser's arena — no owned tree is ever materialized. No events are
+/// delivered for failing parses.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the farthest failure.
+pub fn parse_events(
+    text: &str,
+    sink: &mut dyn modpeg_runtime::EventSink,
+) -> Result<(), ParseError> {{
+    if text.len() > u32::MAX as usize {{
+        let input = Input::new("");
+        let mut failures = Failures::new();
+        failures.note(0, "input smaller than 4 GiB");
+        return Err(failures.to_error(&input));
+    }}
+    let mut parser = Parser::new(text);
+    let r = parser.p{root}(0);
+    match r {{
+        Ok((end, value)) if end == parser.input.len() => {{
+            parser.memo.arena().emit_events(&value, sink);
+            Ok(())
+        }}
+        Ok((end, _)) => {{
+            parser.note(end, "end of input");
+            Err(parser.failures.to_error(&parser.input))
+        }}
+        Err(_) => Err(parser.failures.to_error(&parser.input)),
+    }}
 }}
 
 /// Parses `text` under `gov`'s resource limits, requiring full input
@@ -887,7 +991,9 @@ pub fn parse_governed_telemetry(
         Err(ParseFault::Abort(kind))
     }} else {{
         match r {{
-            Ok((end, value)) if end == parser.input.len() => Ok(SyntaxTree::new(text, value)),
+            Ok((end, value)) if end == parser.input.len() => {{
+                Ok(SyntaxTree::new(text, parser.materialize(value)))
+            }}
             Ok((end, _)) => {{
                 parser.note(end, "end of input");
                 Err(ParseFault::Syntax(parser.failures.to_error(&parser.input)))

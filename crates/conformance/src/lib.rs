@@ -103,6 +103,35 @@ impl GrammarId {
         }
     }
 
+    /// Runs the build-time generated parser in SAX event mode, streaming
+    /// the semantic tree to `sink` without materializing it.
+    pub fn codegen_parse_events(
+        self,
+        input: &str,
+        sink: &mut dyn modpeg_runtime::EventSink,
+    ) -> Result<(), ParseError> {
+        use modpeg_grammars::generated as g;
+        match self {
+            GrammarId::Calc => g::calc::parse_events(input, sink),
+            GrammarId::Json => g::json::parse_events(input, sink),
+            GrammarId::Java => g::java::parse_events(input, sink),
+            GrammarId::C => g::c::parse_events(input, sink),
+        }
+    }
+
+    /// Runs the build-time generated parser with arena-backed values
+    /// disabled (legacy heap-allocated trees) — the old-representation
+    /// leg of the equivalence tests.
+    pub fn codegen_parse_legacy(self, input: &str) -> Result<SyntaxTree, ParseError> {
+        use modpeg_grammars::generated as g;
+        match self {
+            GrammarId::Calc => g::calc::parse_legacy(input),
+            GrammarId::Json => g::json::parse_legacy(input),
+            GrammarId::Java => g::java::parse_legacy(input),
+            GrammarId::C => g::c::parse_legacy(input),
+        }
+    }
+
     /// Runs the build-time generated parser with telemetry hooks
     /// reporting to `telem` — the entry point the memo-telemetry
     /// agreement check compares against the interpreter.
@@ -234,6 +263,11 @@ pub struct FuzzReport {
     pub coverage_ratio: f64,
     /// Random edit scripts replayed through the incremental engines.
     pub edit_scripts_replayed: u64,
+    /// SAX event streams round-tripped through [`TreeBuilder`]s and
+    /// compared against the reference tree.
+    ///
+    /// [`TreeBuilder`]: modpeg_runtime::TreeBuilder
+    pub event_checks: u64,
     /// Divergences found (already minimized).
     pub divergences: Vec<Divergence>,
     /// Reference-engine statistics aggregated (via [`Stats::merge`])
@@ -272,6 +306,7 @@ pub fn fuzz_grammar(id: GrammarId, cfg: &FuzzConfig) -> Result<FuzzReport, Strin
         rejected: 0,
         coverage_ratio: 0.0,
         edit_scripts_replayed: 0,
+        event_checks: 0,
         divergences: Vec::new(),
         stats: Stats::default(),
     };
@@ -328,6 +363,7 @@ pub fn fuzz_grammar(id: GrammarId, cfg: &FuzzConfig) -> Result<FuzzReport, Strin
     }
 
     report.coverage_ratio = coverage.as_ref().map_or(0.0, modpeg_interp::Coverage::ratio);
+    report.event_checks = oracle.event_checks();
     Ok(report)
 }
 

@@ -28,13 +28,14 @@
 //! The baseline recognizer is exponential on rejections by design, so it
 //! is only consulted for inputs up to [`EngineSet::baseline_max_len`].
 
+use std::cell::Cell;
 use std::collections::BTreeSet;
 use std::rc::Rc;
 
 use modpeg_baseline::BacktrackParser;
 use modpeg_core::{Expr, Grammar};
 use modpeg_interp::{CompiledGrammar, OptConfig, OPT_COUNT};
-use modpeg_runtime::{ChunkMemo, ParseError, SyntaxTree};
+use modpeg_runtime::{ChunkMemo, ParseError, SyntaxTree, TreeBuilder};
 use modpeg_session::ParseSession;
 use modpeg_vm::VmProgram;
 use modpeg_workload::rng::StdRng;
@@ -273,8 +274,18 @@ pub struct Oracle<'g> {
     levels: Vec<(String, CompiledGrammar)>,
     incremental: Rc<CompiledGrammar>,
     baseline: BacktrackParser<'g>,
+    /// The fully optimized interpreter — the arena-active engine whose
+    /// SAX event stream the event legs round-trip.
+    full: CompiledGrammar,
+    /// `full` with the arena disabled: the old heap-allocated value
+    /// representation, which must yield byte-identical trees.
+    legacy: CompiledGrammar,
     /// The bytecode machine, compiled at full optimization.
     vm: Option<VmProgram>,
+    /// The bytecode machine with the arena disabled.
+    vm_legacy: Option<VmProgram>,
+    /// SAX event streams round-tripped so far (see [`Oracle::check`]).
+    event_checks: Cell<u64>,
     /// Characters edit scripts splice in, harvested from the grammar's
     /// literals and classes.
     alphabet: Vec<char>,
@@ -314,12 +325,17 @@ impl<'g> Oracle<'g> {
             CompiledGrammar::compile(grammar, OptConfig::incremental())
                 .map_err(|e| e.to_string())?,
         );
-        let vm = if engines.vm {
-            let full =
-                CompiledGrammar::compile(grammar, OptConfig::all()).map_err(|e| e.to_string())?;
-            Some(VmProgram::from_compiled(&full).map_err(|e| e.to_string())?)
+        let full =
+            CompiledGrammar::compile(grammar, OptConfig::all()).map_err(|e| e.to_string())?;
+        let mut legacy = full.clone();
+        legacy.set_arena_enabled(false);
+        let (vm, vm_legacy) = if engines.vm {
+            let vm = VmProgram::from_compiled(&full).map_err(|e| e.to_string())?;
+            let mut vm_legacy = VmProgram::from_compiled(&full).map_err(|e| e.to_string())?;
+            vm_legacy.set_arena_enabled(false);
+            (Some(vm), Some(vm_legacy))
         } else {
-            None
+            (None, None)
         };
         Ok(Oracle {
             grammar,
@@ -328,10 +344,20 @@ impl<'g> Oracle<'g> {
             levels,
             incremental,
             baseline: BacktrackParser::new(grammar),
+            full,
+            legacy,
             vm,
+            vm_legacy,
+            event_checks: Cell::new(0),
             alphabet: grammar_alphabet(grammar),
             edits_per_script: 6,
         })
+    }
+
+    /// Number of SAX event streams round-tripped through a
+    /// [`TreeBuilder`] and compared against the reference tree so far.
+    pub fn event_checks(&self) -> u64 {
+        self.event_checks.get()
     }
 
     /// The reference parser (`cumulative(0)`).
@@ -403,7 +429,118 @@ impl<'g> Oracle<'g> {
                 ));
             }
         }
+
+        // Old-representation legs: the same engines with the arena
+        // disabled build legacy heap-allocated trees, which must be
+        // structurally identical to both the reference and the
+        // arena-backed copies compared above.
+        let got = Outcome::of(self.legacy.parse(input));
+        if got != reference {
+            return Some(format!(
+                "engine `opt-levels` (arena disabled) disagrees with `cumulative(0)`: {} vs {}",
+                got.describe(),
+                reference.describe()
+            ));
+        }
+        if let Some(vm) = &self.vm_legacy {
+            let got = Outcome::of(vm.parse(input));
+            if got != reference {
+                return Some(format!(
+                    "engine `vm` (arena disabled) disagrees with `cumulative(0)`: {} vs {}",
+                    got.describe(),
+                    reference.describe()
+                ));
+            }
+        }
+        if self.engines.codegen {
+            if let Some(result) = self.id.map(|id| id.codegen_parse_legacy(input)) {
+                let got = Outcome::of(result);
+                if got != reference {
+                    return Some(format!(
+                        "engine `codegen` (arena disabled) disagrees with `cumulative(0)`: {} vs {}",
+                        got.describe(),
+                        reference.describe()
+                    ));
+                }
+            }
+        }
+
+        // Event legs: every engine's SAX stream, rebuilt by a
+        // TreeBuilder, must reproduce the reference tree (and reject at
+        // the reference offset on failures).
+        if let Some(d) = self.check_event_leg(input, &reference, "opt-levels", |sink| {
+            self.full.parse_events(input, sink)
+        }) {
+            return Some(d);
+        }
+        if let Some(vm) = &self.vm {
+            if let Some(d) = self.check_event_leg(input, &reference, "vm", |sink| {
+                vm.parse_events(input, sink)
+            }) {
+                return Some(d);
+            }
+        }
+        if self.engines.codegen {
+            if let Some(id) = self.id {
+                if let Some(d) = self.check_event_leg(input, &reference, "codegen", |sink| {
+                    id.codegen_parse_events(input, sink)
+                }) {
+                    return Some(d);
+                }
+            }
+        }
         None
+    }
+
+    /// One event-mode leg: run `parse` into a [`TreeBuilder`], then
+    /// demand the rebuilt tree (or the failure offset) matches the
+    /// reference outcome.
+    fn check_event_leg(
+        &self,
+        input: &str,
+        reference: &Outcome,
+        label: &str,
+        parse: impl FnOnce(&mut dyn modpeg_runtime::EventSink) -> Result<(), ParseError>,
+    ) -> Option<String> {
+        self.event_checks.set(self.event_checks.get() + 1);
+        let mut builder = TreeBuilder::new();
+        match parse(&mut builder) {
+            Ok(()) => {
+                if !reference.accepted() {
+                    return Some(format!(
+                        "engine `{label}` (events) accepts but `cumulative(0)` {}",
+                        reference.describe()
+                    ));
+                }
+                let rebuilt = builder
+                    .finish()
+                    .map(|root| SyntaxTree::new(input, root).to_sexpr());
+                if rebuilt != reference.sexpr {
+                    return Some(format!(
+                        "engine `{label}` event stream rebuilds {} but `cumulative(0)` tree is {}",
+                        rebuilt.as_deref().map_or_else(|| "<unbalanced stream>".to_owned(), clip),
+                        reference.sexpr.as_deref().map_or_else(String::new, clip)
+                    ));
+                }
+                None
+            }
+            Err(e) => {
+                if reference.accepted() {
+                    Some(format!(
+                        "engine `{label}` (events) rejects at {} but `cumulative(0)` accepts",
+                        e.offset()
+                    ))
+                } else if Some(e.offset()) != reference.err_offset {
+                    Some(format!(
+                        "engine `{label}` (events) farthest failure {} vs `cumulative(0)` {:?}",
+                        e.offset(),
+                        reference.err_offset
+                    ))
+                } else {
+                    None
+                }
+            }
+        }
     }
 
     /// Replays a deterministic random edit script (derived from `seed`)

@@ -300,8 +300,24 @@ impl<'g, 'i> Run<'g, 'i> {
         }
     }
 
+    /// Whether composite values are built in the memo table's bump
+    /// region: runs backed by the chunked table, unless the grammar's
+    /// arena toggle turned the region off (legacy-representation legs of
+    /// the equivalence tests and benchmarks).
+    fn use_arena(&self) -> bool {
+        self.g.arena_enabled && matches!(self.memo, Memo::Chunk(_))
+    }
+
     fn make_node(&mut self, kind: &NodeKind, children: Vec<Value>, span: Option<Span>) -> Value {
         self.stats.nodes_built += 1;
+        if self.use_arena() {
+            if let Memo::Chunk(m) = &mut self.memo {
+                self.stats.value_bytes += (modpeg_runtime::Arena::NODE_BYTES
+                    + children.len() * std::mem::size_of::<Value>())
+                    as u64;
+                return Value::ArenaNode(m.arena_mut().alloc_node(kind.clone(), children, span));
+            }
+        }
         self.stats.value_bytes += (std::mem::size_of::<modpeg_runtime::Node>()
             + children.capacity() * std::mem::size_of::<Value>())
             as u64;
@@ -322,6 +338,32 @@ impl<'g, 'i> Run<'g, 'i> {
     /// in (one level): `x ("," x)*` and `(x ("," x)*)?` both yield one
     /// flat list of `x`s, matching how grammar authors read the idiom.
     fn make_list(&mut self, items: Vec<Value>) -> Value {
+        if self.use_arena() {
+            if let Memo::Chunk(m) = &mut self.memo {
+                let arena = m.arena_mut();
+                let items = if items
+                    .iter()
+                    .any(|v| matches!(v, Value::List(_) | Value::ArenaList(_)))
+                {
+                    let mut flat = Vec::with_capacity(items.len());
+                    for v in items {
+                        match v {
+                            Value::List(l) => flat.extend(l.iter().cloned()),
+                            Value::ArenaList(r) => flat.extend(arena.children(r).iter().cloned()),
+                            other => flat.push(other),
+                        }
+                    }
+                    flat
+                } else {
+                    items
+                };
+                self.stats.lists_built += 1;
+                self.stats.value_bytes += (modpeg_runtime::Arena::NODE_BYTES
+                    + items.len() * std::mem::size_of::<Value>())
+                    as u64;
+                return Value::ArenaList(arena.alloc_list(items));
+            }
+        }
         let items = if items.iter().any(|v| matches!(v, Value::List(_))) {
             let mut flat = Vec::with_capacity(items.len());
             for v in items {
@@ -339,6 +381,42 @@ impl<'g, 'i> Run<'g, 'i> {
             (std::mem::size_of::<Vec<Value>>() + items.capacity() * std::mem::size_of::<Value>())
                 as u64;
         Value::list(items)
+    }
+
+    /// Clones out an arena list's items (the splice sites of `e+` and the
+    /// memoized repetition helper, where the rest-list may be region-backed).
+    fn arena_items(&self, r: modpeg_runtime::ArenaRef) -> Vec<Value> {
+        match &self.memo {
+            Memo::Chunk(m) => m.arena().children(r).to_vec(),
+            Memo::Hash(_) => unreachable!("arena values exist only with a chunked memo"),
+        }
+    }
+
+    /// Streams `value` as SAX events straight from the run's region (or
+    /// by walking the legacy tree, for hash-memo runs) — no owned tree is
+    /// materialized.
+    fn emit(&self, value: &Value, sink: &mut dyn modpeg_runtime::EventSink) {
+        match &self.memo {
+            Memo::Chunk(m) => m.arena().emit_events(value, sink),
+            Memo::Hash(_) => modpeg_runtime::Arena::new().emit_events(value, sink),
+        }
+    }
+
+    /// Detaches `value` from the run's region before it escapes into a
+    /// [`SyntaxTree`]: region-backed trees are copied out (the returned
+    /// tree shares nothing with the memo table), legacy trees pass through
+    /// as cheap clones.
+    fn materialize(&self, value: Value) -> Value {
+        match &self.memo {
+            // No whole-arena invariant check here: on incremental runs the
+            // region carries orphaned nodes from earlier parses of a
+            // *different* document, whose spans are meaningless against the
+            // current input. `copy_out` itself asserts generation validity
+            // of every handle it follows; whole-arena checks live in the
+            // dedicated invariant suites where the input is known.
+            Memo::Chunk(m) => m.arena().copy_out(&value),
+            Memo::Hash(_) => value,
+        }
     }
 
     // ----- productions -----
@@ -737,6 +815,7 @@ impl<'g, 'i> Run<'g, 'i> {
                 let mut items = first_out.into_values();
                 match rest_out {
                     Out::One(Value::List(l)) => items.extend(l.iter().cloned()),
+                    Out::One(Value::ArenaList(r)) => items.extend(self.arena_items(r)),
                     Out::None => {}
                     other => other.push_into(&mut items),
                 }
@@ -915,8 +994,10 @@ impl<'g, 'i> Run<'g, 'i> {
                 };
                 if want && yields {
                     let mut items = out.into_values();
-                    if let Out::One(Value::List(l)) = &rest {
-                        items.extend(l.iter().cloned());
+                    match &rest {
+                        Out::One(Value::List(l)) => items.extend(l.iter().cloned()),
+                        Out::One(Value::ArenaList(r)) => items.extend(self.arena_items(*r)),
+                        _ => {}
                     }
                     let list = self.make_list(items);
                     (end, Out::One(list))
@@ -1035,7 +1116,9 @@ fn governed_outcome(
         return Err(ParseFault::Abort(kind));
     }
     match result {
-        Ok((end, value)) if end == run.input.len() => Ok(SyntaxTree::new(text, value)),
+        Ok((end, value)) if end == run.input.len() => {
+            Ok(SyntaxTree::new(text, run.materialize(value)))
+        }
         Ok((end, _)) => {
             run.note(end, "end of input");
             Err(ParseFault::Syntax(run.failures.to_error(&run.input)))
@@ -1142,7 +1225,9 @@ impl CompiledGrammar {
         run.install_telemetry(telem);
         let result = run.eval_prod(self.root, 0);
         let outcome = match result {
-            Ok((end, value)) if end == run.input.len() => Ok(SyntaxTree::new(text, value)),
+            Ok((end, value)) if end == run.input.len() => {
+                Ok(SyntaxTree::new(text, run.materialize(value)))
+            }
             Ok((end, _)) => {
                 run.note(end, "end of input");
                 Err(run.failures.to_error(&run.input))
@@ -1234,7 +1319,9 @@ impl CompiledGrammar {
         run.install_telemetry(telem);
         let result = run.eval_prod(self.root, 0);
         let outcome = match result {
-            Ok((end, value)) if end == run.input.len() => Ok(SyntaxTree::new(text, value)),
+            Ok((end, value)) if end == run.input.len() => {
+                Ok(SyntaxTree::new(text, run.materialize(value)))
+            }
             Ok((end, _)) => {
                 run.note(end, "end of input");
                 Err(run.failures.to_error(&run.input))
@@ -1433,7 +1520,9 @@ impl CompiledGrammar {
         run.coverage = Some(crate::Coverage::new(names, labels));
         let result = run.eval_prod(self.root, 0);
         let outcome = match result {
-            Ok((end, value)) if end == run.input.len() => Ok(SyntaxTree::new(text, value)),
+            Ok((end, value)) if end == run.input.len() => {
+                Ok(SyntaxTree::new(text, run.materialize(value)))
+            }
             Ok((end, _)) => {
                 run.note(end, "end of input");
                 Err(run.failures.to_error(&run.input))
@@ -1475,9 +1564,104 @@ impl CompiledGrammar {
         }
         let mut run = Run::new(self, text);
         match run.eval_prod(self.root, 0) {
-            Ok((end, value)) => Ok((SyntaxTree::new(text, value), end)),
+            Ok((end, value)) => Ok((SyntaxTree::new(text, run.materialize(value)), end)),
             Err(_) => Err(run.failures.to_error(&run.input)),
         }
+    }
+
+    /// Parses `text` in SAX event mode: the semantic value is streamed to
+    /// `sink` as [`ParseEvent`](modpeg_runtime::ParseEvent)s straight from
+    /// the parse region — no owned tree is materialized, which is the
+    /// cheapest mode for lint/grep/count workloads that only want spans.
+    /// The event stream is a balanced pre-order walk; rebuilding it with a
+    /// [`TreeBuilder`](modpeg_runtime::TreeBuilder) yields a tree
+    /// structurally identical to [`CompiledGrammar::parse`]'s (the
+    /// conformance oracle asserts this round-trip).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] exactly as [`CompiledGrammar::parse`]
+    /// does; no events are emitted for a failed parse.
+    pub fn parse_events(
+        &self,
+        text: &str,
+        sink: &mut dyn modpeg_runtime::EventSink,
+    ) -> Result<(), ParseError> {
+        if text.len() > u32::MAX as usize {
+            let input = Input::new("");
+            let mut failures = Failures::new();
+            failures.note(0, "input smaller than 4 GiB");
+            return Err(failures.to_error(&input));
+        }
+        let mut run = Run::new(self, text);
+        let result = run.eval_prod(self.root, 0);
+        match result {
+            Ok((end, value)) if end == run.input.len() => {
+                run.emit(&value, sink);
+                Ok(())
+            }
+            Ok((end, _)) => {
+                run.note(end, "end of input");
+                Err(run.failures.to_error(&run.input))
+            }
+            Err(_) => Err(run.failures.to_error(&run.input)),
+        }
+    }
+
+    /// The incremental counterpart of [`CompiledGrammar::parse_events`]:
+    /// streams events from a parse that reuses (and returns) a
+    /// caller-supplied [`ChunkMemo`]. This is the zero-copy steady state:
+    /// with a recycled table, the region's capacity is already there, no
+    /// owned tree is built, and a parse allocates almost nothing.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledGrammar::parse_events`]; the memo table is returned
+    /// in every case.
+    pub fn parse_events_incremental(
+        &self,
+        text: &str,
+        mut memo: ChunkMemo,
+        sink: &mut dyn modpeg_runtime::EventSink,
+    ) -> (Result<(), ParseError>, Stats, ChunkMemo) {
+        if text.len() > u32::MAX as usize {
+            let input = Input::new("");
+            let mut failures = Failures::new();
+            failures.note(0, "input smaller than 4 GiB");
+            memo.reset_for(self.n_slots, 0);
+            return (Err(failures.to_error(&input)), Stats::default(), memo);
+        }
+        if !self.cfg.chunks {
+            let (result, stats) = {
+                let r = self.parse_events(text, sink);
+                (r, Stats::default())
+            };
+            return (result, stats, memo);
+        }
+        if !memo.fits(self.n_slots, text.len() as u32) {
+            memo.reset_for(self.n_slots, text.len() as u32);
+        }
+        let mut run = Run::new(self, text);
+        run.memo = Memo::Chunk(memo);
+        let result = run.eval_prod(self.root, 0);
+        let outcome = match result {
+            Ok((end, value)) if end == run.input.len() => {
+                run.emit(&value, sink);
+                Ok(())
+            }
+            Ok((end, _)) => {
+                run.note(end, "end of input");
+                Err(run.failures.to_error(&run.input))
+            }
+            Err(_) => Err(run.failures.to_error(&run.input)),
+        };
+        run.finish_stats();
+        let mut stats = std::mem::take(&mut run.stats);
+        let Memo::Chunk(mut memo) = run.memo else {
+            unreachable!("installed as Chunk above")
+        };
+        stats.memo_entries_shifted += memo.take_entries_shifted();
+        (outcome, stats, memo)
     }
 }
 

@@ -9,6 +9,9 @@
 //! * [`Span`] / [`LineCol`] — source locations,
 //! * [`Value`], [`Node`], [`SyntaxTree`] — generic semantic values (the
 //!   analogue of xtc's *GNode*s),
+//! * [`Arena`] — the bump region backing zero-copy semantic values, with
+//!   `copy_out` / one-operation `reset`, plus the SAX-style
+//!   [`ParseEvent`] / [`EventSink`] surface for treeless parsing,
 //! * [`MemoTable`] — the packrat memoization store, in both a naïve
 //!   hash-map flavour and the *chunked column* flavour that is one of the
 //!   paper's headline optimizations,
@@ -34,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 mod error;
 mod governor;
 mod input;
@@ -45,6 +49,9 @@ mod state;
 mod stats;
 mod value;
 
+pub use arena::{
+    Arena, ArenaInvariants, ArenaRef, EventCounts, EventSink, ParseEvent, TreeBuilder,
+};
 pub use error::{Failures, ParseError};
 pub use governor::{
     CancelToken, Governor, GovernorLimits, ParseAbort, ParseFault, DEFAULT_MAX_DEPTH, POLL_STRIDE,

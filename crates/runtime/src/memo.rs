@@ -16,6 +16,7 @@
 //!   actually memoized get a dense slot index; probing is two array
 //!   indexings and storing allocates at chunk granularity.
 
+use crate::arena::Arena;
 use crate::value::Value;
 
 /// Number of memo slots per chunk in [`ChunkMemo`] (the paper groups
@@ -157,8 +158,10 @@ impl Column {
     }
 
     /// Applies the pending bias to every entry, returning how many entries
-    /// were rewritten.
-    fn settle(&mut self) -> u64 {
+    /// were rewritten. Region-backed values are shifted through `arena`
+    /// (a deep copy into fresh region nodes, mirroring the legacy
+    /// copy-on-shift semantics).
+    fn settle(&mut self, arena: &mut Arena) -> u64 {
         if self.bias == 0 {
             return 0;
         }
@@ -167,7 +170,7 @@ impl Column {
         for chunk in self.chunks.iter_mut().flatten() {
             for answer in chunk.iter_mut().flatten() {
                 if let Some((end, value)) = answer.outcome.take() {
-                    answer.outcome = Some(((end as i64 + bias) as u32, value.shifted(bias)));
+                    answer.outcome = Some(((end as i64 + bias) as u32, arena.shifted(&value, bias)));
                 }
                 shifted += 1;
             }
@@ -235,6 +238,12 @@ pub struct ChunkMemo {
     /// Entries whose spans have been translated by lazy settling since the
     /// last [`ChunkMemo::take_entries_shifted`].
     entries_shifted: u64,
+    /// The bump region for this table's semantic values. Memo entries hold
+    /// [`Value::ArenaNode`]/[`Value::ArenaList`] handles into it, so the
+    /// entries and the region live and die together:
+    /// [`ChunkMemo::reset_for`] resets both, which is what makes stale
+    /// handles unreachable across session recycling by construction.
+    arena: Arena,
 }
 
 impl ChunkMemo {
@@ -253,7 +262,18 @@ impl ChunkMemo {
             allocated_columns: 0,
             spare: Vec::new(),
             entries_shifted: 0,
+            arena: Arena::new(),
         }
+    }
+
+    /// The bump region backing this table's semantic values.
+    pub fn arena(&self) -> &Arena {
+        &self.arena
+    }
+
+    /// Mutable access to the bump region (parsers allocate through this).
+    pub fn arena_mut(&mut self) -> &mut Arena {
+        &mut self.arena
     }
 
     /// Number of columns that have been materialized.
@@ -333,7 +353,7 @@ impl ChunkMemo {
     /// `probe` assumes (and debug-asserts) no translation is pending.
     pub fn probe_settled(&mut self, slot: u32, pos: u32) -> Option<&MemoAnswer> {
         if let Some(Some(col)) = self.columns.get_mut(pos as usize) {
-            self.entries_shifted += col.settle();
+            self.entries_shifted += col.settle(&mut self.arena);
         }
         self.probe(slot, pos)
     }
@@ -430,6 +450,9 @@ impl ChunkMemo {
     /// Re-shapes the table for a fresh parse of `n_slots` productions over
     /// `input_len` bytes, recycling every column allocation (the pooling
     /// half of the session engine). Chunk geometry changes drop the pool.
+    /// The value region is reset in the same operation — entries and the
+    /// arena nodes they reference die together, so recycling can never
+    /// resurrect a stale handle.
     pub fn reset_for(&mut self, n_slots: u32, input_len: u32) {
         let n_chunks = (n_slots as usize).div_ceil(CHUNK_SIZE).max(1);
         if n_chunks != self.n_chunks {
@@ -446,6 +469,7 @@ impl ChunkMemo {
         self.columns.resize_with(input_len as usize + 1, || None);
         self.stored = 0;
         self.entries_shifted = 0;
+        self.arena.reset();
     }
 }
 
@@ -487,7 +511,7 @@ impl MemoTable for ChunkMemo {
         // A store into a column still carrying an edit translation must
         // settle it first, or settling later would corrupt this entry.
         if col.bias != 0 {
-            self.entries_shifted += col.settle();
+            self.entries_shifted += col.settle(&mut self.arena);
         }
         let chunk_idx = slot as usize / CHUNK_SIZE;
         let Some(chunk_slot) = col.chunks.get_mut(chunk_idx) else {
@@ -513,6 +537,11 @@ impl MemoTable for ChunkMemo {
     }
 
     fn retained_bytes(&self) -> u64 {
+        // Deliberately excludes the arena: the memo budget is enforced by
+        // evicting columns, which cannot free region memory — counting the
+        // region here would make the eviction ladder unable to satisfy the
+        // budget and turn recoverable pressure into spurious aborts. The
+        // region is accounted by the parsers' value-byte stats instead.
         let column_ptrs =
             (self.columns.capacity() * std::mem::size_of::<Option<Box<Column>>>()) as u64;
         let column_headers = self.allocated_columns

@@ -131,6 +131,13 @@ pub enum Value {
     /// An absent optional (`e?` that did not match). A present optional
     /// yields the inner value directly.
     Absent,
+    /// A node allocated in a parse [`Arena`](crate::Arena): an 8-byte
+    /// handle instead of an `Rc` tree. Region-backed values must be
+    /// resolved (rendered, copied out, compared) through the arena that
+    /// allocated them.
+    ArenaNode(crate::ArenaRef),
+    /// A list allocated in a parse [`Arena`](crate::Arena).
+    ArenaList(crate::ArenaRef),
 }
 
 impl Value {
@@ -177,10 +184,16 @@ impl Value {
 
     /// Estimated heap bytes retained by this value, counting shared
     /// subtrees once per reference (an upper-bound estimate; packrat result
-    /// sharing can make true retention smaller).
+    /// sharing can make true retention smaller). Arena handles retain
+    /// nothing themselves — the region's footprint is accounted by
+    /// [`Arena::retained_bytes`](crate::Arena::retained_bytes).
     pub fn retained_bytes(&self) -> usize {
         match self {
-            Value::Unit | Value::Absent | Value::Text(_) => 0,
+            Value::Unit
+            | Value::Absent
+            | Value::Text(_)
+            | Value::ArenaNode(_)
+            | Value::ArenaList(_) => 0,
             Value::OwnedText(s) => s.len() + 16,
             Value::Node(n) => {
                 let own = std::mem::size_of::<Node>()
@@ -201,6 +214,11 @@ impl Value {
     /// text to the right of an edit. The copy is a fresh structure —
     /// subtrees are *not* mutated in place, because `Rc`-shared subtrees
     /// may also be reachable from memo entries whose columns did not move.
+    ///
+    /// Region-backed values cannot be shifted without their arena: use
+    /// [`Arena::shifted`](crate::Arena::shifted), which handles both
+    /// representations (this method returns arena handles unchanged, and
+    /// debug-asserts against the misuse).
     pub fn shifted(&self, delta: i64) -> Value {
         if delta == 0 {
             return self.clone();
@@ -208,6 +226,10 @@ impl Value {
         match self {
             Value::Unit => Value::Unit,
             Value::Absent => Value::Absent,
+            Value::ArenaNode(_) | Value::ArenaList(_) => {
+                debug_assert!(false, "arena-backed values shift through Arena::shifted");
+                self.clone()
+            }
             Value::OwnedText(s) => Value::OwnedText(Rc::clone(s)),
             Value::Text(span) => Value::Text(span.shifted(delta)),
             Value::Node(n) => {
@@ -255,6 +277,10 @@ impl Value {
                 }
                 out.push(']');
             }
+            // Unresolvable without the arena; engines copy out before any
+            // value escapes to rendering, so this is reachable only from
+            // misuse (render through `Arena::to_sexpr` instead).
+            Value::ArenaNode(_) | Value::ArenaList(_) => out.push_str("<arena>"),
         }
     }
 
@@ -270,7 +296,9 @@ impl Value {
     /// Structural equality modulo text representation: `Text` spans and
     /// `OwnedText` compare equal when they denote the same characters of
     /// `input`, and node spans are ignored. Used to check that
-    /// optimizations preserve semantics.
+    /// optimizations preserve semantics. Arena handles always compare
+    /// unequal here — use [`Arena::same_shape`](crate::Arena::same_shape)
+    /// to compare region-backed values.
     pub fn same_shape(&self, other: &Value, input: &str) -> bool {
         match (self, other) {
             (Value::Unit, Value::Unit) | (Value::Absent, Value::Absent) => true,

@@ -268,6 +268,43 @@ impl ParseSession {
         result
     }
 
+    /// Like [`ParseSession::parse`], but in SAX event mode: the semantic
+    /// value is streamed to `sink` straight from the session's region and
+    /// no owned tree is materialized. This is the cheapest way to run
+    /// lint/grep/count passes over a long-lived document — in steady
+    /// state (a primed or pool-recycled session) a parse allocates almost
+    /// nothing, because the region and the memo table already have their
+    /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when [`ParseSession::parse`] would; no events are
+    /// emitted for a failed parse.
+    pub fn parse_events(
+        &mut self,
+        sink: &mut dyn modpeg_runtime::EventSink,
+    ) -> Result<(), ParseError> {
+        if !self.reusable || !self.primed {
+            self.memo
+                .reset_for(self.grammar.memo_slot_count(), self.doc.len() as u32);
+        }
+        let memo = std::mem::replace(&mut self.memo, ChunkMemo::new(0, 0));
+        let (result, mut stats, memo) = self.grammar.parse_events_incremental(&self.doc, memo, sink);
+        self.memo = memo;
+        self.primed = true;
+        stats.memo_columns_reused += self.pending.memo_columns_reused;
+        stats.memo_columns_invalidated += self.pending.memo_columns_invalidated;
+        self.pending = Stats::default();
+        self.telem.session_reuse(
+            stats.memo_columns_reused,
+            stats.memo_columns_invalidated,
+            stats.memo_entries_shifted,
+        );
+        self.total_stats.merge(&stats);
+        self.last_stats = stats;
+        result
+    }
+
     /// Statistics of the most recent [`ParseSession::parse`], including
     /// the column reuse/invalidation counts of the edits that preceded it.
     pub fn last_stats(&self) -> &Stats {
@@ -277,6 +314,14 @@ impl ParseSession {
     /// Statistics accumulated over every parse of this session.
     pub fn stats(&self) -> &Stats {
         &self.total_stats
+    }
+
+    /// The session's memo table. The per-parse value arena lives inside
+    /// it (see [`ChunkMemo::arena`]), which is what makes recycling
+    /// sound: entries and the region they point into are dropped
+    /// together, so a recycled table can never resurrect stale handles.
+    pub fn memo(&self) -> &ChunkMemo {
+        &self.memo
     }
 
     /// Consumes the session, returning its memo table for recycling.

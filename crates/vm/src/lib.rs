@@ -90,6 +90,7 @@ pub struct VmProgram {
     chunk: compile::Chunk,
     cfg: OptConfig,
     n_slots: u32,
+    arena_enabled: bool,
 }
 
 impl VmProgram {
@@ -135,12 +136,26 @@ impl VmProgram {
             chunk,
             cfg: cg.config(),
             n_slots: cg.memo_slot_count(),
+            arena_enabled: cg.arena_enabled(),
         })
     }
 
     /// The optimization configuration the program was compiled under.
     pub fn config(&self) -> OptConfig {
         self.cfg
+    }
+
+    /// Whether runs build semantic values in the per-parse arena
+    /// (default) or as individually heap-allocated trees.
+    pub fn arena_enabled(&self) -> bool {
+        self.arena_enabled
+    }
+
+    /// Switches between arena-backed (default) and legacy heap-allocated
+    /// semantic values. Both produce structurally identical trees; the
+    /// toggle exists for the equivalence tests and the heap experiments.
+    pub fn set_arena_enabled(&mut self, enabled: bool) {
+        self.arena_enabled = enabled;
     }
 
     /// Number of instructions in the program (bootstrap included).
@@ -201,7 +216,9 @@ impl VmProgram {
         m.install_telemetry(telem);
         let result = m.run();
         let outcome = match result {
-            Ok((end, value)) if end == m.input.len() => Ok(SyntaxTree::new(text, value)),
+            Ok((end, value)) if end == m.input.len() => {
+                Ok(SyntaxTree::new(text, m.materialize(value)))
+            }
             Ok((end, _)) => {
                 m.note(end, "end of input");
                 Err(m.failures.to_error(&m.input))
@@ -210,6 +227,41 @@ impl VmProgram {
         };
         m.finish_stats();
         (outcome, m.stats)
+    }
+
+    /// Parses `text` in SAX event mode: on a full match the semantic tree
+    /// is streamed to `sink` as [`modpeg_runtime::ParseEvent`]s straight
+    /// from the machine's arena — no owned tree is ever materialized. No
+    /// events are delivered for failing parses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the farthest failure when the
+    /// input does not match (or does not match completely).
+    pub fn parse_events(
+        &self,
+        text: &str,
+        sink: &mut dyn modpeg_runtime::EventSink,
+    ) -> Result<(), ParseError> {
+        if text.len() > u32::MAX as usize {
+            let input = Input::new("");
+            let mut failures = Failures::new();
+            failures.note(0, "input smaller than 4 GiB");
+            return Err(failures.to_error(&input));
+        }
+        let mut m = Machine::new(self, text);
+        let result = m.run();
+        match result {
+            Ok((end, value)) if end == m.input.len() => {
+                m.emit(&value, sink);
+                Ok(())
+            }
+            Ok((end, _)) => {
+                m.note(end, "end of input");
+                Err(m.failures.to_error(&m.input))
+            }
+            Err(_) => Err(m.failures.to_error(&m.input)),
+        }
     }
 
     /// Parses under `gov`'s resource limits (deadline, fuel, recursion
@@ -257,7 +309,9 @@ impl VmProgram {
             Err(ParseFault::Abort(kind))
         } else {
             match result {
-                Ok((end, value)) if end == m.input.len() => Ok(SyntaxTree::new(text, value)),
+                Ok((end, value)) if end == m.input.len() => {
+                    Ok(SyntaxTree::new(text, m.materialize(value)))
+                }
                 Ok((end, _)) => {
                     m.note(end, "end of input");
                     Err(ParseFault::Syntax(m.failures.to_error(&m.input)))

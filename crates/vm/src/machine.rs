@@ -74,6 +74,9 @@ pub(crate) struct Machine<'p, 'i> {
     bts: Vec<BtFrame>,
     calls: Vec<CallFrame>,
     memo: ChunkMemo,
+    /// Whether semantic values are built in the memo's arena (the memo is
+    /// always chunked here, so this mirrors the program's toggle).
+    use_arena: bool,
     pub(crate) state: ScopedState,
     pub(crate) failures: Failures,
     pub(crate) stats: Stats,
@@ -110,6 +113,7 @@ impl<'p, 'i> Machine<'p, 'i> {
             bts: Vec::with_capacity(64),
             calls: Vec::with_capacity(64),
             memo,
+            use_arena: p.arena_enabled(),
             state: ScopedState::new(),
             failures,
             stats: Stats::default(),
@@ -286,6 +290,12 @@ impl<'p, 'i> Machine<'p, 'i> {
 
     fn make_node(&mut self, kind: &NodeKind, children: Vec<Value>, span: Option<Span>) -> Value {
         self.stats.nodes_built += 1;
+        if self.use_arena {
+            self.stats.value_bytes += (modpeg_runtime::Arena::NODE_BYTES
+                + children.len() * std::mem::size_of::<Value>())
+                as u64;
+            return Value::ArenaNode(self.memo.arena_mut().alloc_node(kind.clone(), children, span));
+        }
         self.stats.value_bytes += (std::mem::size_of::<modpeg_runtime::Node>()
             + children.capacity() * std::mem::size_of::<Value>())
             as u64;
@@ -303,6 +313,30 @@ impl<'p, 'i> Machine<'p, 'i> {
     }
 
     fn make_list(&mut self, items: Vec<Value>) -> Value {
+        if self.use_arena {
+            let items = if items
+                .iter()
+                .any(|v| matches!(v, Value::List(_) | Value::ArenaList(_)))
+            {
+                let arena = self.memo.arena();
+                let mut flat = Vec::with_capacity(items.len());
+                for v in items {
+                    match v {
+                        Value::List(l) => flat.extend(l.iter().cloned()),
+                        Value::ArenaList(r) => flat.extend(arena.children(r).iter().cloned()),
+                        other => flat.push(other),
+                    }
+                }
+                flat
+            } else {
+                items
+            };
+            self.stats.lists_built += 1;
+            self.stats.value_bytes += (modpeg_runtime::Arena::NODE_BYTES
+                + items.len() * std::mem::size_of::<Value>())
+                as u64;
+            return Value::ArenaList(self.memo.arena_mut().alloc_list(items));
+        }
         let items = if items.iter().any(|v| matches!(v, Value::List(_))) {
             let mut flat = Vec::with_capacity(items.len());
             for v in items {
@@ -320,6 +354,22 @@ impl<'p, 'i> Machine<'p, 'i> {
             (std::mem::size_of::<Vec<Value>>() + items.capacity() * std::mem::size_of::<Value>())
                 as u64;
         Value::list(items)
+    }
+
+    /// Detaches `value` from the machine's arena before it escapes into a
+    /// [`modpeg_runtime::SyntaxTree`]. Legacy trees pass through as-is.
+    pub(crate) fn materialize(&self, value: Value) -> Value {
+        if self.use_arena {
+            self.memo.arena().copy_out(&value)
+        } else {
+            value
+        }
+    }
+
+    /// Streams `value` as SAX events straight from the machine's arena
+    /// (the arena walker also handles legacy heap values).
+    pub(crate) fn emit(&self, value: &Value, sink: &mut dyn modpeg_runtime::EventSink) {
+        self.memo.arena().emit_events(value, sink);
     }
 
     /// The name a state operation works with: the operand's first textual
@@ -677,8 +727,12 @@ impl<'p, 'i> Machine<'p, 'i> {
                         let rest = self.vstack.split_off(m1.vlen as usize);
                         let rest_list = self.make_list(rest);
                         let mut items = self.vstack.split_off(m0.vlen as usize);
-                        if let Value::List(l) = &rest_list {
-                            items.extend(l.iter().cloned());
+                        match &rest_list {
+                            Value::List(l) => items.extend(l.iter().cloned()),
+                            Value::ArenaList(r) => {
+                                items.extend(self.memo.arena().children(*r).iter().cloned())
+                            }
+                            _ => {}
                         }
                         let list = self.make_list(items);
                         self.vstack.push(list);

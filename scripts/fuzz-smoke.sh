@@ -3,8 +3,10 @@
 #
 # Runs `modpeg fuzz --smoke`: fixed seeds, all four grammars, every
 # engine (interpreter opt ladder, baseline recognizer, generated parsers,
-# incremental edit replay). Any cross-engine divergence fails the run and
-# prints a minimized, paste-ready regression test.
+# incremental edit replay, SAX event round-trips). Any cross-engine
+# divergence fails the run and prints a minimized, paste-ready
+# regression test. The event-oracle leg must actually have run: the
+# report line is checked for a nonzero round-trip count.
 #
 # Usage: scripts/fuzz-smoke.sh
 set -eu
@@ -18,6 +20,11 @@ if [ ! -x "$MODPEG" ]; then
 fi
 
 echo "== fuzz-smoke: modpeg fuzz --smoke =="
-"$MODPEG" fuzz --smoke
+OUT=$("$MODPEG" fuzz --smoke)
+printf '%s\n' "$OUT"
+printf '%s\n' "$OUT" | grep -q '[1-9][0-9]* event round-trips' || {
+    echo "fuzz-smoke: the event-oracle leg did not run"
+    exit 1
+}
 
 echo "== fuzz-smoke: OK =="

@@ -32,4 +32,7 @@ sh scripts/vm-smoke.sh
 echo "== tier-1: telemetry/profiling smoke =="
 sh scripts/profile-smoke.sh
 
+echo "== tier-1: arena/zero-copy smoke =="
+sh scripts/arena-smoke.sh
+
 echo "== tier-1: OK =="
